@@ -1,0 +1,65 @@
+// Command nfsbench regenerates the tables and figures of Macklem's USENIX
+// 1991 NFS tuning paper on the simulated testbed.
+//
+// Usage:
+//
+//	nfsbench -list
+//	nfsbench -exp graph1            # one experiment
+//	nfsbench -exp all               # everything, paper order
+//	nfsbench -exp table5 -quick     # scaled-down run
+//
+// Output is plain text, one table per experiment, in the same shape as the
+// paper's tables/graph data. EXPERIMENTS.md records how each compares to
+// the published numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"renonfs"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		quick = flag.Bool("quick", false, "scaled-down durations and point counts")
+		seed  = flag.Int64("seed", 1991, "random seed")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range renonfs.Experiments() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := renonfs.ExpConfig{Quick: *quick, Seed: *seed}
+	run := func(e renonfs.Experiment) {
+		start := time.Now()
+		fmt.Printf("== %s: %s\n\n", e.ID, e.Title)
+		for _, tb := range e.Run(cfg) {
+			fmt.Println(tb.String())
+		}
+		fmt.Printf("(%s in %.1fs wall)\n\n", e.ID, time.Since(start).Seconds())
+	}
+
+	if *exp == "all" {
+		for _, e := range renonfs.Experiments() {
+			run(e)
+		}
+		return
+	}
+	for _, e := range renonfs.Experiments() {
+		if e.ID == *exp {
+			run(e)
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "nfsbench: unknown experiment %q (try -list)\n", *exp)
+	os.Exit(1)
+}

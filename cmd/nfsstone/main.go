@@ -1,0 +1,109 @@
+// Command nfsstone runs the Nhfsstone-style load generator against the
+// simulated testbed, one (transport, topology, mix, rate) point per
+// invocation — the raw material of the paper's Graphs 1-5.
+//
+// Usage:
+//
+//	nfsstone -topo ring -transport udp-dyn -mix read -rate 12 -duration 60s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"renonfs"
+	"renonfs/internal/nfsproto"
+	"renonfs/internal/sim"
+	"renonfs/internal/stats"
+	"renonfs/internal/workload"
+)
+
+func main() {
+	var (
+		topoName  = flag.String("topo", "lan", "topology: lan, ring, slow")
+		trName    = flag.String("transport", "udp-dyn", "transport: udp-fixed, udp-dyn, tcp")
+		mixName   = flag.String("mix", "lookup", "load mix: lookup, read, full")
+		rate      = flag.Float64("rate", 20, "offered load, RPC/s")
+		duration  = flag.Duration("duration", 60*time.Second, "measurement window (virtual)")
+		warmup    = flag.Duration("warmup", 10*time.Second, "warmup (virtual)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		longNames = flag.Bool("longnames", false, "use >31-char names (defeats server name cache)")
+		procs     = flag.Int("procs", 4, "load-generating processes")
+	)
+	flag.Parse()
+
+	topos := map[string]renonfs.Topology{"lan": renonfs.TopoLAN, "ring": renonfs.TopoRing, "slow": renonfs.TopoSlow}
+	topo, ok := topos[*topoName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "nfsstone: unknown topology %q\n", *topoName)
+		os.Exit(1)
+	}
+	kinds := map[string]renonfs.TransportKind{
+		"udp-fixed": renonfs.UDPFixed, "udp-dyn": renonfs.UDPDynamic, "tcp": renonfs.TCP,
+	}
+	kind, ok := kinds[*trName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "nfsstone: unknown transport %q\n", *trName)
+		os.Exit(1)
+	}
+	var mix map[uint32]float64
+	switch *mixName {
+	case "lookup":
+		mix = workload.DefaultLookupMix()
+	case "read":
+		mix = workload.ReadLookupMix()
+	case "full":
+		mix = workload.FullMix()
+	default:
+		fmt.Fprintf(os.Stderr, "nfsstone: unknown mix %q\n", *mixName)
+		os.Exit(1)
+	}
+
+	r := renonfs.NewRig(renonfs.RigConfig{Seed: *seed, Topology: topo})
+	defer r.Close()
+	var res *workload.NhfsstoneResult
+	var cpu float64
+	r.Env.Spawn("nfsstone", func(p *sim.Proc) {
+		tr, err := r.DialTransport(p, kind)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nfsstone: dial: %v\n", err)
+			return
+		}
+		nh := &workload.Nhfsstone{
+			Cfg: workload.NhfsstoneConfig{
+				Mix: mix, Rate: *rate, Procs: *procs,
+				Duration: *duration, Warmup: *warmup,
+				NumFiles: 40, FileSize: 8192, LongNames: *longNames,
+				OnMeasure: func() { r.Net.Server.ResetProfile() },
+			},
+			Tr:   tr,
+			Root: r.Server.RootFH(),
+		}
+		if err := nh.Preload(p); err != nil {
+			fmt.Fprintf(os.Stderr, "nfsstone: preload: %v\n", err)
+			return
+		}
+		res = nh.Run(p)
+		cpu = r.Net.Server.CPU.Utilization()
+	})
+	r.Env.Run(*warmup + *duration + 30*time.Minute)
+	if res == nil {
+		fmt.Fprintln(os.Stderr, "nfsstone: run did not complete")
+		os.Exit(1)
+	}
+
+	fmt.Printf("topology=%v transport=%v mix=%s offered=%.1f/s achieved=%.1f/s retries=%d failures=%d server-cpu=%.0f%%\n",
+		topo, kind, *mixName, *rate, res.Achieved, res.Retries, res.Failures, cpu*100)
+	t := stats.NewTable("per-procedure round trip times", "proc", "calls/s", "mean(ms)", "p95(ms)", "max(ms)")
+	for proc := uint32(0); proc < nfsproto.NumProcs; proc++ {
+		s := res.RTT[proc]
+		if s == nil || s.Count == 0 {
+			continue
+		}
+		t.AddRow(nfsproto.ProcName(proc), fmt.Sprintf("%.1f", res.ProcRate[proc]),
+			s.Mean(), s.Percentile(95), s.Max)
+	}
+	fmt.Println(t.String())
+}

@@ -1,0 +1,3 @@
+module renonfs
+
+go 1.22

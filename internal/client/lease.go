@@ -1,0 +1,279 @@
+package client
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"renonfs/internal/nfsproto"
+	"renonfs/internal/sim"
+	"renonfs/internal/xdr"
+)
+
+// Client side of the NQNFS-style lease extension (Future Directions): with
+// a write lease held, delayed writes need no push-on-close — the server
+// guarantees nobody else caches the file, and evicts us (callback + flush
+// + VACATED) if somebody asks. Close/open consistency is preserved with
+// the write RPC count of the "no consistency" mount, which is exactly the
+// bound §5 measures.
+
+// clientLease is one held lease.
+type clientLease struct {
+	vn     *vnode
+	mode   uint32
+	expiry sim.Time
+}
+
+// leaseMargin is how close to expiry a lease may be and still be relied
+// upon; within the margin it is renewed (or the data flushed).
+const leaseMargin = 3 * time.Second
+
+var nextCallbackPort = 40000
+
+// initLeases binds the callback socket and starts the callback and
+// renewal processes. Called from NewMount when UseLeases is set.
+func (m *Mount) initLeases() {
+	m.leases = make(map[vnKey]*clientLease)
+	nextCallbackPort++
+	m.cbPort = nextCallbackPort
+	m.cbSock = m.Node.UDPSocket(m.cbPort)
+	m.env.Spawn(m.Opts.Name+".lease-cb", m.leaseCallbackProc)
+	m.env.Spawn(m.Opts.Name+".lease-renew", m.leaseRenewProc)
+}
+
+// leaseFor returns the live lease covering (vn, mode), nil otherwise.
+func (m *Mount) leaseFor(vn *vnode, mode uint32) *clientLease {
+	l := m.leases[vnKey{vn.fileid, vn.gen}]
+	if l == nil {
+		return nil
+	}
+	if m.env.Now()+leaseMargin >= l.expiry {
+		return nil // too close to expiry to trust
+	}
+	if mode == nfsproto.LeaseWrite && l.mode != nfsproto.LeaseWrite {
+		return nil
+	}
+	return l
+}
+
+// getLease acquires or renews a lease, retrying through TRYLATER while the
+// server evicts a conflicting holder. It returns false when leases are
+// unavailable (old server) or cannot be granted; callers fall back to
+// ordinary consistency.
+func (m *Mount) getLease(p *sim.Proc, vn *vnode, mode uint32) bool {
+	if !m.Opts.UseLeases || m.leasesBroken {
+		return false
+	}
+	if m.leaseFor(vn, mode) != nil {
+		return true
+	}
+	durSec := uint32(m.leaseDuration() / time.Second)
+	for attempt := 0; attempt < 10; attempt++ {
+		d, err := m.call(p, nfsproto.ProcLease, func(e *xdr.Encoder) {
+			(&nfsproto.LeaseArgs{
+				File: vn.fh, Mode: mode,
+				Duration: durSec, CallbackPort: uint32(m.cbPort),
+			}).Encode(e)
+		})
+		if err != nil {
+			// PROC_UNAVAIL from a server without the extension surfaces
+			// as an RPC-level error: stop asking.
+			m.leasesBroken = true
+			return false
+		}
+		res, err := nfsproto.DecodeLeaseRes(d)
+		if err != nil {
+			m.leasesBroken = true
+			return false
+		}
+		switch res.Status {
+		case nfsproto.OK:
+			// The grant carries fresh attributes: validate the cache now,
+			// then trust it for the lease term. Dirty data survives the
+			// purge: it is flushed first (it is newer by definition).
+			if vn.hasCachedMtime && res.Attr.Mtime != vn.cachedMtime {
+				m.flushVnode(p, vn, true)
+				m.invalidate(vn)
+			}
+			m.updateAttrs(vn, res.Attr, false)
+			vn.cachedMtime = res.Attr.Mtime
+			vn.hasCachedMtime = true
+			m.leases[vnKey{vn.fileid, vn.gen}] = &clientLease{
+				vn: vn, mode: mode,
+				expiry: m.env.Now() + sim.Time(res.Duration)*time.Second,
+			}
+			m.Stats.LeasesGranted++
+			return true
+		case nfsproto.ErrTryLater:
+			m.Stats.LeaseTryLater++
+			p.Sleep(time.Second)
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func (m *Mount) leaseDuration() sim.Time {
+	if m.Opts.LeaseDuration > 0 {
+		return m.Opts.LeaseDuration
+	}
+	return 30 * time.Second
+}
+
+// dropLease forgets a lease without telling the server (expiry handles
+// the server side).
+func (m *Mount) dropLease(vn *vnode) {
+	delete(m.leases, vnKey{vn.fileid, vn.gen})
+}
+
+// surrender flushes a leased file and answers the server's eviction.
+func (m *Mount) surrender(p *sim.Proc, vn *vnode) {
+	m.flushVnode(p, vn, true)
+	m.invalidate(vn)
+	vn.attrValid = false
+	m.dropLease(vn)
+	m.call(p, nfsproto.ProcVacated, func(e *xdr.Encoder) {
+		(&nfsproto.VacatedArgs{File: vn.fh}).Encode(e)
+	})
+	m.Stats.LeaseEvictions++
+}
+
+// leaseCallbackProc handles the server's eviction notices.
+func (m *Mount) leaseCallbackProc(p *sim.Proc) {
+	for {
+		dg, ok := m.cbSock.Recv(p)
+		if !ok {
+			return
+		}
+		d := xdr.NewDecoder(dg.Payload)
+		magic, err := d.Uint32()
+		if err != nil || magic != nfsproto.EvictionMagic {
+			continue
+		}
+		raw, err := d.FixedOpaque(nfsproto.FHSize)
+		if err != nil {
+			continue
+		}
+		var fh nfsproto.FH
+		copy(fh[:], raw)
+		_, fileid, gen := fh.Parts()
+		l := m.leases[vnKey{fileid, gen}]
+		if l == nil {
+			continue // already expired or surrendered
+		}
+		m.surrender(p, l.vn)
+	}
+}
+
+// leaseRenewProc keeps leases on dirty files alive and flushes before any
+// lease is allowed to lapse, so the server never re-grants while we hold
+// unwritten data.
+func (m *Mount) leaseRenewProc(p *sim.Proc) {
+	interval := m.leaseDuration() / 6
+	if interval < time.Second {
+		interval = time.Second
+	}
+	for !m.closed {
+		p.Sleep(interval)
+		if m.closed {
+			return
+		}
+		now := m.env.Now()
+		// Deterministic order: map iteration order must not leak into
+		// simulated behaviour.
+		keys := make([]vnKey, 0, len(m.leases))
+		for k := range m.leases {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].fileid != keys[j].fileid {
+				return keys[i].fileid < keys[j].fileid
+			}
+			return keys[i].gen < keys[j].gen
+		})
+		for _, k := range keys {
+			l := m.leases[k]
+			remaining := l.expiry - now
+			if remaining > 2*interval+leaseMargin {
+				continue
+			}
+			dirty := len(m.bufc.DirtyBufs(l.vn.fileid, l.vn.gen)) > 0
+			if dirty && m.getLease(p, l.vn, l.mode) {
+				continue // renewed
+			}
+			if dirty {
+				m.flushVnode(p, l.vn, true)
+			}
+			delete(m.leases, k)
+		}
+	}
+}
+
+// tryLaterBackoff sleeps before retrying an operation refused with
+// NFSERR_TRYLATER (the server is evicting a conflicting lease holder).
+func tryLaterBackoff(p *sim.Proc, attempt int) {
+	d := time.Duration(attempt+1) * 500 * time.Millisecond
+	if d > 3*time.Second {
+		d = 3 * time.Second
+	}
+	p.Sleep(d)
+}
+
+// ReadDirLook lists a directory with the readdir_and_lookup_files
+// extension, priming the attribute and name caches from the entries so a
+// following per-file stat pass costs no RPCs. It falls back to ReadDir on
+// servers without the extension.
+func (m *Mount) ReadDirLook(p *sim.Proc, path string) ([]nfsproto.DirEntry, error) {
+	if !m.Opts.ReaddirLook || m.rdlBroken {
+		return m.ReadDir(p, path)
+	}
+	vn, err := m.walk(p, path)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.checkConsistency(p, vn); err != nil {
+		return nil, err
+	}
+	if vn.dirCache != nil && vn.dirCacheMtime == vn.attr.Mtime {
+		return vn.dirCache, nil
+	}
+	var all []nfsproto.DirEntry
+	cookie := uint32(0)
+	for {
+		d, err := m.call(p, nfsproto.ProcReaddirLook, func(e *xdr.Encoder) {
+			(&nfsproto.ReaddirArgs{Dir: vn.fh, Cookie: cookie, Count: nfsproto.MaxData}).Encode(e)
+		})
+		if err != nil {
+			m.rdlBroken = true
+			return m.ReadDir(p, path)
+		}
+		res, err := nfsproto.DecodeReaddirLookRes(d)
+		if err != nil {
+			m.rdlBroken = true
+			return m.ReadDir(p, path)
+		}
+		if res.Status != nfsproto.OK {
+			return nil, res.Status.Error()
+		}
+		for i := range res.Entries {
+			ent := &res.Entries[i]
+			child := m.getVnode(ent.File)
+			m.updateAttrs(child, &ent.Attr, false)
+			m.namec.Enter(vn.fileid, vn.gen, ent.Entry.Name, child.fileid, child.gen)
+			all = append(all, ent.Entry)
+		}
+		if res.EOF || len(res.Entries) == 0 {
+			break
+		}
+		cookie = res.Entries[len(res.Entries)-1].Entry.Cookie
+	}
+	vn.dirCache = all
+	vn.dirCacheMtime = vn.attr.Mtime
+	return all, nil
+}
+
+// leaseString summarizes lease state for debugging.
+func (m *Mount) leaseString() string {
+	return fmt.Sprintf("%d leases held", len(m.leases))
+}

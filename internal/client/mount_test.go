@@ -1,0 +1,112 @@
+package client
+
+import (
+	"testing"
+
+	"renonfs/internal/sim"
+	"renonfs/internal/tcpsim"
+	"renonfs/internal/transport"
+)
+
+func TestMountProtocolBootstrap(t *testing.T) {
+	r := newRig(t, 21)
+	r.srv.Export("/exports/src")
+	r.run(t, func(p *sim.Proc) {
+		// Build the exported subtree server-side through a root mount.
+		setup := r.mount(Reno())
+		if err := setup.Mkdir(p, "exports", 0755); err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		if err := setup.Mkdir(p, "exports/src", 0755); err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		writeFile(t, p, setup, "exports/src/hello.c", []byte("int main;"))
+
+		// A second client mounts the export by path, the real way.
+		portCounter++
+		tr := transport.NewUDP(r.tb.Client, portCounter, r.tb.Server.ID, 2049, transport.DynamicUDP())
+		exports, err := Exports(p, tr)
+		if err != nil {
+			t.Fatalf("exports: %v", err)
+		}
+		found := false
+		for _, e := range exports {
+			if e.Dir == "/exports/src" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("export table missing /exports/src: %+v", exports)
+		}
+		m, err := MountExport(p, r.tb.Client, tr, "/exports/src", Reno())
+		if err != nil {
+			t.Fatalf("mount export: %v", err)
+		}
+		// Paths are now relative to the export root, not the server root.
+		got := readFile(t, p, m, "hello.c")
+		if string(got) != "int main;" {
+			t.Fatalf("read via export mount = %q", got)
+		}
+		// The server's rmtab knows about us until UMNT.
+		if len(r.srv.MountsFor()) == 0 {
+			t.Fatal("mountd recorded no mounts")
+		}
+		if err := Unmount(p, tr, "/exports/src"); err != nil {
+			t.Fatalf("umnt: %v", err)
+		}
+		if n := len(r.srv.MountsFor()); n != 0 {
+			t.Fatalf("rmtab still has %d entries after UMNT", n)
+		}
+	})
+}
+
+func TestMountProtocolRefusals(t *testing.T) {
+	r := newRig(t, 22)
+	r.run(t, func(p *sim.Proc) {
+		portCounter++
+		tr := transport.NewUDP(r.tb.Client, portCounter, r.tb.Server.ID, 2049, transport.DynamicUDP())
+		// Not exported: EACCES.
+		if _, err := MountProtocolRoot(p, tr, "/secret"); err == nil {
+			t.Fatal("unexported path mounted")
+		}
+		// Exported but nonexistent: ENOENT.
+		r.srv.Export("/ghost")
+		if _, err := MountProtocolRoot(p, tr, "/ghost"); err == nil {
+			t.Fatal("nonexistent path mounted")
+		}
+		// Root is exported by default.
+		fh, err := MountProtocolRoot(p, tr, "/")
+		if err != nil {
+			t.Fatalf("mount /: %v", err)
+		}
+		if fh != r.srv.RootFH() {
+			t.Fatal("mount / returned a different handle than RootFH")
+		}
+	})
+}
+
+func TestMountProtocolOverTCP(t *testing.T) {
+	// The MOUNT program is transport-independent too: bootstrap a mount
+	// over the TCP transport and use it end to end.
+	r := newRig(t, 23)
+	r.srv.ServeTCP(tcpsim.NewStack(r.tb.Server), 2049)
+	done := false
+	r.run(t, func(p *sim.Proc) {
+		tr, err := transport.NewTCP(p, tcpsim.NewStack(r.tb.Client), r.tb.Server.ID, 2049)
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		m, err := MountExport(p, r.tb.Client, tr, "/", Reno())
+		if err != nil {
+			t.Fatalf("mount export over tcp: %v", err)
+		}
+		writeFile(t, p, m, "over-tcp", []byte("mounted via MNT on a stream"))
+		if got := readFile(t, p, m, "over-tcp"); string(got) != "mounted via MNT on a stream" {
+			t.Fatalf("got %q", got)
+		}
+		done = true
+	})
+	if !done {
+		t.Fatal("did not finish")
+	}
+}

@@ -1,0 +1,123 @@
+// Package ipfrag implements IP-style datagram fragmentation and reassembly.
+//
+// NFS-over-UDP sends each 8 KB read or write RPC as a single UDP datagram,
+// which IP must fragment to the interconnect's MTU (6 fragments on an
+// Ethernet). Loss of any single fragment loses the whole datagram — the
+// paper's central argument (after [Kent87b]) for why fixed-RTO UDP transport
+// collapses on anything but a clean LAN. This package provides the
+// fragment-range arithmetic and a reassembly tracker with timeout; the
+// network simulator supplies actual delivery and loss.
+package ipfrag
+
+import "renonfs/internal/sim"
+
+// Frag describes one fragment of a datagram: payload bytes [Off, Off+Len).
+type Frag struct {
+	Off  int
+	Len  int
+	More bool // more fragments follow
+}
+
+// Split returns the fragment ranges for a payload of total bytes over a
+// link accepting at most mtu payload bytes per fragment. A total of zero
+// yields a single empty fragment (a datagram with no payload still needs a
+// packet).
+func Split(total, mtu int) []Frag {
+	if mtu <= 0 {
+		panic("ipfrag: non-positive MTU")
+	}
+	if total == 0 {
+		return []Frag{{Off: 0, Len: 0, More: false}}
+	}
+	// IP requires fragment offsets in 8-byte units; round the per-fragment
+	// payload down accordingly, as real stacks do.
+	per := mtu &^ 7
+	if per == 0 {
+		per = mtu
+	}
+	var out []Frag
+	for off := 0; off < total; off += per {
+		n := total - off
+		if n > per {
+			n = per
+		}
+		out = append(out, Frag{Off: off, Len: n, More: off+n < total})
+	}
+	return out
+}
+
+// NumFrags returns how many fragments Split would produce.
+func NumFrags(total, mtu int) int { return len(Split(total, mtu)) }
+
+// Key identifies a datagram under reassembly: (source, datagram id).
+type Key struct {
+	Src int
+	ID  uint32
+}
+
+// state tracks one datagram's received coverage.
+type state struct {
+	total    int // known total length, -1 until the last fragment arrives
+	received int // bytes received (fragments never overlap in this model)
+	deadline sim.Time
+}
+
+// Reassembler tracks in-progress datagrams and decides when one completes.
+// It is purely logical: callers feed it fragment arrivals and the current
+// virtual time; expiry of stale state happens lazily.
+type Reassembler struct {
+	Timeout sim.Time
+	pending map[Key]*state
+	// Expired counts datagrams abandoned by timeout (IP "reassembly
+	// timeouts" — each one is a silently lost RPC for fixed-RTO UDP).
+	Expired int
+}
+
+// NewReassembler returns a tracker with the given fragment timeout.
+func NewReassembler(timeout sim.Time) *Reassembler {
+	return &Reassembler{Timeout: timeout, pending: make(map[Key]*state)}
+}
+
+// Pending returns the number of datagrams under reassembly.
+func (r *Reassembler) Pending() int { return len(r.pending) }
+
+// Add records arrival of fragment f for datagram k at time now and reports
+// whether the datagram is now complete. On completion the state is dropped.
+func (r *Reassembler) Add(k Key, f Frag, now sim.Time) bool {
+	st := r.pending[k]
+	if st == nil {
+		st = &state{total: -1, deadline: now + r.Timeout}
+		r.pending[k] = st
+	} else if now > st.deadline {
+		// Stale state: the old datagram is abandoned and this fragment
+		// starts a fresh attempt (e.g. a retransmitted UDP RPC reusing
+		// nothing — IDs are unique, so in practice this is rare).
+		r.Expired++
+		st = &state{total: -1, deadline: now + r.Timeout}
+		r.pending[k] = st
+	}
+	st.received += f.Len
+	if !f.More {
+		st.total = f.Off + f.Len
+	}
+	if st.total >= 0 && st.received >= st.total {
+		delete(r.pending, k)
+		return true
+	}
+	return false
+}
+
+// Expire drops all reassembly state whose deadline has passed, returning
+// the number expired. Call it periodically (the simulator uses the slow
+// timeout granularity of the era's IP stacks).
+func (r *Reassembler) Expire(now sim.Time) int {
+	n := 0
+	for k, st := range r.pending {
+		if now > st.deadline {
+			delete(r.pending, k)
+			n++
+		}
+	}
+	r.Expired += n
+	return n
+}

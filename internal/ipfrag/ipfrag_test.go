@@ -1,0 +1,147 @@
+package ipfrag
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSplitEthernet8K(t *testing.T) {
+	// The paper: an 8 KB RPC is ~6 IP fragments on an Ethernet.
+	frags := Split(8192+160, 1480) // payload + RPC/NFS header overhead
+	if len(frags) != 6 {
+		t.Fatalf("8K RPC on Ethernet = %d fragments, want 6", len(frags))
+	}
+}
+
+func TestSplitExact(t *testing.T) {
+	frags := Split(1480, 1480)
+	if len(frags) != 1 || frags[0].More || frags[0].Len != 1480 {
+		t.Fatalf("frags = %+v", frags)
+	}
+}
+
+func TestSplitZero(t *testing.T) {
+	frags := Split(0, 1480)
+	if len(frags) != 1 || frags[0].Len != 0 || frags[0].More {
+		t.Fatalf("frags = %+v", frags)
+	}
+}
+
+func TestSplitProperty(t *testing.T) {
+	f := func(total uint16, mtu uint16) bool {
+		m := int(mtu)%4000 + 8
+		frags := Split(int(total), m)
+		// Coverage is contiguous, in order, complete, and respects MTU.
+		off := 0
+		for i, fr := range frags {
+			if fr.Off != off || fr.Len > m {
+				return false
+			}
+			if fr.Len == 0 && int(total) != 0 {
+				return false
+			}
+			off += fr.Len
+			if (i < len(frags)-1) != fr.More {
+				return false
+			}
+		}
+		return off == int(total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReassemblyComplete(t *testing.T) {
+	r := NewReassembler(15 * time.Second)
+	k := Key{Src: 1, ID: 42}
+	frags := Split(5000, 1480)
+	for i, f := range frags {
+		done := r.Add(k, f, 0)
+		if done != (i == len(frags)-1) {
+			t.Fatalf("fragment %d: done = %v", i, done)
+		}
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("pending = %d after completion", r.Pending())
+	}
+}
+
+func TestReassemblyOutOfOrder(t *testing.T) {
+	r := NewReassembler(15 * time.Second)
+	k := Key{Src: 1, ID: 1}
+	frags := Split(5000, 1480)
+	// Deliver last first.
+	if r.Add(k, frags[len(frags)-1], 0) {
+		t.Fatal("complete after only the last fragment")
+	}
+	for i := 0; i < len(frags)-2; i++ {
+		if r.Add(k, frags[i], 0) {
+			t.Fatalf("complete too early at %d", i)
+		}
+	}
+	if !r.Add(k, frags[len(frags)-2], 0) {
+		t.Fatal("not complete after all fragments")
+	}
+}
+
+func TestReassemblyLostFragmentNeverCompletes(t *testing.T) {
+	r := NewReassembler(15 * time.Second)
+	k := Key{Src: 1, ID: 7}
+	frags := Split(8192, 1480)
+	for i, f := range frags {
+		if i == 2 {
+			continue // lost in transit
+		}
+		if r.Add(k, f, 0) {
+			t.Fatal("completed despite lost fragment")
+		}
+	}
+	if r.Pending() != 1 {
+		t.Fatalf("pending = %d", r.Pending())
+	}
+	if n := r.Expire(20 * time.Second); n != 1 {
+		t.Fatalf("Expire = %d", n)
+	}
+	if r.Expired != 1 || r.Pending() != 0 {
+		t.Fatalf("Expired=%d Pending=%d", r.Expired, r.Pending())
+	}
+}
+
+func TestReassemblyInterleaved(t *testing.T) {
+	r := NewReassembler(15 * time.Second)
+	a, b := Key{1, 10}, Key{2, 10}
+	fa := Split(3000, 1480)
+	fb := Split(2000, 1480)
+	r.Add(a, fa[0], 0)
+	r.Add(b, fb[0], 0)
+	if !r.Add(b, fb[1], 0) {
+		t.Fatal("b incomplete")
+	}
+	if r.Add(a, fa[1], 0) {
+		t.Fatal("a complete too early")
+	}
+	if !r.Add(a, fa[2], 0) {
+		t.Fatal("a incomplete")
+	}
+}
+
+func TestStaleStateRestarts(t *testing.T) {
+	r := NewReassembler(time.Second)
+	k := Key{1, 5}
+	frags := Split(3000, 1480)
+	r.Add(k, frags[0], 0)
+	// Long after timeout, the "same" datagram id arrives again; old state
+	// must not pollute the new attempt.
+	if r.Add(k, frags[0], 5*time.Second) {
+		t.Fatal("complete from stale state")
+	}
+	if r.Expired != 1 {
+		t.Fatalf("Expired = %d", r.Expired)
+	}
+	r.Add(k, frags[1], 5*time.Second)
+	if !r.Add(k, frags[2], 5*time.Second) {
+		t.Fatal("fresh attempt did not complete")
+	}
+}

@@ -1,0 +1,249 @@
+// Package mbuf implements BSD-style network buffer chains.
+//
+// The 4.3BSD Reno NFS implementation builds and decomposes RPC requests and
+// replies directly in mbuf data areas (via the nfsm_build and nfsm_disect
+// macros) to avoid intermediate XDR buffers and the copies they imply. This
+// package reproduces that discipline: a Chain is a singly linked list of
+// small mbufs and page clusters, a Builder appends fields contiguously the
+// way nfsm_build does, and a Dissector walks a chain the way nfsm_disect
+// does, copying only when a field straddles an mbuf boundary.
+//
+// The package keeps global counters of memory-to-memory copy traffic so the
+// experiments in §3 of the paper (copy avoidance) can be observed directly.
+package mbuf
+
+import "sync/atomic"
+
+const (
+	// MLen is the data capacity of a small mbuf (BSD: MSIZE minus header).
+	MLen = 108
+	// ClBytes is the data capacity of an mbuf page cluster.
+	ClBytes = 2048
+)
+
+// Counters aggregates package-wide copy and allocation statistics.
+type Counters struct {
+	// CopiedBytes counts bytes moved by memory-to-memory copies performed
+	// by this package (linearization, boundary-straddling reads, FromBytes).
+	CopiedBytes atomic.Int64
+	// SmallAllocs and ClusterAllocs count mbuf allocations by kind.
+	SmallAllocs   atomic.Int64
+	ClusterAllocs atomic.Int64
+	// Views counts zero-copy range references created by Chain.Range.
+	Views atomic.Int64
+}
+
+// Stats is the package-wide counter instance.
+var Stats Counters
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() {
+	c.CopiedBytes.Store(0)
+	c.SmallAllocs.Store(0)
+	c.ClusterAllocs.Store(0)
+	c.Views.Store(0)
+}
+
+// Mbuf is one buffer in a chain. Data occupies buf[off : off+len].
+type Mbuf struct {
+	buf     []byte
+	off     int
+	dlen    int
+	cluster bool
+	next    *Mbuf
+}
+
+// newSmall allocates a small mbuf.
+func newSmall() *Mbuf {
+	Stats.SmallAllocs.Add(1)
+	return &Mbuf{buf: make([]byte, MLen)}
+}
+
+// newCluster allocates a cluster mbuf.
+func newCluster() *Mbuf {
+	Stats.ClusterAllocs.Add(1)
+	return &Mbuf{buf: make([]byte, ClBytes), cluster: true}
+}
+
+// Len returns the number of valid data bytes in the mbuf.
+func (m *Mbuf) Len() int { return m.dlen }
+
+// Cluster reports whether the mbuf is a page cluster.
+func (m *Mbuf) Cluster() bool { return m.cluster }
+
+// Data returns the valid data bytes. The slice aliases the mbuf storage.
+func (m *Mbuf) Data() []byte { return m.buf[m.off : m.off+m.dlen] }
+
+// Chain is a list of mbufs holding a logical byte sequence.
+type Chain struct {
+	head, tail *Mbuf
+	length     int
+}
+
+// Len returns the total data length of the chain.
+func (c *Chain) Len() int { return c.length }
+
+// Empty reports whether the chain holds no data.
+func (c *Chain) Empty() bool { return c.length == 0 }
+
+// Segments returns the number of mbufs in the chain.
+func (c *Chain) Segments() int {
+	n := 0
+	for m := c.head; m != nil; m = m.next {
+		n++
+	}
+	return n
+}
+
+// Clusters returns the number of cluster mbufs in the chain; the NIC model
+// uses this to decide how much data page-remapping can avoid copying.
+func (c *Chain) Clusters() (count, bytes int) {
+	for m := c.head; m != nil; m = m.next {
+		if m.cluster {
+			count++
+			bytes += m.dlen
+		}
+	}
+	return count, bytes
+}
+
+func (c *Chain) appendMbuf(m *Mbuf) {
+	if c.head == nil {
+		c.head, c.tail = m, m
+	} else {
+		c.tail.next = m
+		c.tail = m
+	}
+	c.length += m.dlen
+}
+
+// Append copies b onto the end of the chain, allocating clusters for bulk
+// data and small mbufs for short tails, the way sosend does.
+func (c *Chain) Append(b []byte) {
+	Stats.CopiedBytes.Add(int64(len(b)))
+	for len(b) > 0 {
+		var m *Mbuf
+		if len(b) > MLen {
+			m = newCluster()
+		} else {
+			m = newSmall()
+		}
+		n := copy(m.buf, b)
+		m.dlen = n
+		b = b[n:]
+		c.appendMbuf(m)
+	}
+}
+
+// AppendCluster grafts an externally produced, cluster-sized buffer onto the
+// chain without copying — the analogue of lending a buffer-cache page to the
+// network code. The caller must not modify b afterwards.
+func (c *Chain) AppendCluster(b []byte) {
+	m := &Mbuf{buf: b, dlen: len(b), cluster: true}
+	Stats.ClusterAllocs.Add(1)
+	c.appendMbuf(m)
+}
+
+// AppendChain moves all mbufs of other onto the end of c (other is emptied).
+func (c *Chain) AppendChain(other *Chain) {
+	if other.head == nil {
+		return
+	}
+	if c.head == nil {
+		c.head, c.tail = other.head, other.tail
+	} else {
+		c.tail.next = other.head
+		c.tail = other.tail
+	}
+	c.length += other.length
+	other.head, other.tail, other.length = nil, nil, 0
+}
+
+// Prepend inserts b before the existing data (m_prepend): used for RPC
+// record marks and lower-layer headers.
+func (c *Chain) Prepend(b []byte) {
+	Stats.CopiedBytes.Add(int64(len(b)))
+	var m *Mbuf
+	if len(b) <= MLen {
+		m = newSmall()
+		// Leave leading space the way MH_ALIGN does, in case of another
+		// prepend; put data at the end of the buffer.
+		m.off = MLen - len(b)
+	} else {
+		m = newCluster()
+	}
+	copy(m.buf[m.off:], b)
+	m.dlen = len(b)
+	m.next = c.head
+	c.head = m
+	if c.tail == nil {
+		c.tail = m
+	}
+	c.length += len(b)
+}
+
+// FromBytes builds a chain holding a copy of b.
+func FromBytes(b []byte) *Chain {
+	c := &Chain{}
+	c.Append(b)
+	return c
+}
+
+// Bytes linearizes the chain into a fresh slice (a full copy).
+func (c *Chain) Bytes() []byte {
+	out := make([]byte, 0, c.length)
+	for m := c.head; m != nil; m = m.next {
+		out = append(out, m.Data()...)
+	}
+	Stats.CopiedBytes.Add(int64(c.length))
+	return out
+}
+
+// CopyTo copies the chain's bytes into dst, which must be at least Len()
+// long, and returns the number of bytes copied.
+func (c *Chain) CopyTo(dst []byte) int {
+	n := 0
+	for m := c.head; m != nil; m = m.next {
+		n += copy(dst[n:], m.Data())
+	}
+	Stats.CopiedBytes.Add(int64(n))
+	return n
+}
+
+// Range returns a zero-copy view chain referencing bytes [off, off+n) of c.
+// The returned chain shares storage with c; neither side may be modified
+// afterwards. It is how IP fragmentation and TCP segmentation reference
+// payload without copying.
+func (c *Chain) Range(off, n int) *Chain {
+	if off < 0 || n < 0 || off+n > c.length {
+		panic("mbuf: Range out of bounds")
+	}
+	Stats.Views.Add(1)
+	out := &Chain{}
+	m := c.head
+	// Skip to the mbuf containing off.
+	for m != nil && off >= m.dlen {
+		off -= m.dlen
+		m = m.next
+	}
+	for n > 0 && m != nil {
+		take := m.dlen - off
+		if take > n {
+			take = n
+		}
+		view := &Mbuf{buf: m.buf, off: m.off + off, dlen: take, cluster: m.cluster}
+		out.appendMbuf(view)
+		n -= take
+		off = 0
+		m = m.next
+	}
+	if n > 0 {
+		panic("mbuf: Range ran off chain")
+	}
+	return out
+}
+
+// Clone returns a deep copy of the chain.
+func (c *Chain) Clone() *Chain {
+	return FromBytes(c.Bytes())
+}

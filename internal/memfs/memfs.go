@@ -1,0 +1,604 @@
+// Package memfs implements the server-local filesystem the NFS server
+// exports: a UFS-like inode/directory structure held in memory, with an
+// attached disk model (an RD53-class drive as a FIFO resource) so that
+// operation latencies and the synchronous-write burden of NFS v2 — every
+// write RPC costs 1-3 disk writes on the server (§5) — appear in virtual
+// time. With a nil disk the filesystem is purely functional, which is how
+// the real-socket server (internal/nfsnet) uses it.
+package memfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"renonfs/internal/nfsproto"
+	"renonfs/internal/sim"
+	"renonfs/internal/vfs"
+)
+
+// BlockSize is the filesystem block size (matches the NFS transfer size).
+const BlockSize = vfs.BlockSize
+
+// Errors mapped to NFS status codes by the server.
+var (
+	ErrNoEnt    = errors.New("memfs: no such file or directory")
+	ErrExist    = errors.New("memfs: file exists")
+	ErrNotDir   = errors.New("memfs: not a directory")
+	ErrIsDir    = errors.New("memfs: is a directory")
+	ErrNotEmpty = errors.New("memfs: directory not empty")
+	ErrStale    = errors.New("memfs: stale file handle")
+	ErrNoSpc    = errors.New("memfs: no space")
+	ErrNameLen  = errors.New("memfs: name too long")
+)
+
+// Disk models one drive: a FIFO resource with per-operation seek/rotate
+// latency plus a transfer rate.
+type Disk struct {
+	res      *sim.Resource
+	seek     sim.Time
+	perByte  float64 // ns per byte
+	ReadOps  int
+	WriteOps int
+}
+
+// RD53 parameters: ~27 ms average seek+rotate, ~1.2 MB/s sustained
+// transfer.
+const (
+	rd53Seek    = 27 * 1e6 // ns
+	rd53PerByte = 830.0    // ns/byte ≈ 1.2 MB/s
+)
+
+// NewRD53 returns an RD53-class disk bound to env.
+func NewRD53(env *sim.Env, name string) *Disk {
+	return &Disk{
+		res:     sim.NewResource(env, name, 1),
+		seek:    sim.Time(rd53Seek),
+		perByte: rd53PerByte,
+	}
+}
+
+// opTime returns the service time for one n-byte transfer.
+func (d *Disk) opTime(n int) sim.Time {
+	return d.seek + sim.Time(float64(n)*d.perByte)
+}
+
+// Read charges one read of n bytes.
+func (d *Disk) Read(p *sim.Proc, n int) {
+	if d == nil || p == nil {
+		return
+	}
+	d.ReadOps++
+	d.res.Use(p, d.opTime(n))
+}
+
+// Write charges one write of n bytes.
+func (d *Disk) Write(p *sim.Proc, n int) {
+	if d == nil || p == nil {
+		return
+	}
+	d.WriteOps++
+	d.res.Use(p, d.opTime(n))
+}
+
+// Utilization reports the disk's busy fraction.
+func (d *Disk) Utilization() float64 {
+	if d == nil {
+		return 0
+	}
+	return d.res.Utilization()
+}
+
+// ResetStats restarts the utilization accounting window.
+func (d *Disk) ResetStats() {
+	if d != nil {
+		d.res.ResetStats()
+	}
+}
+
+// DirEnt is one directory entry.
+type DirEnt struct {
+	Name string
+	Ino  uint32
+}
+
+// Inode is one file, directory or symlink.
+type Inode struct {
+	Ino   uint32
+	Gen   uint32
+	Type  nfsproto.FileType
+	Mode  uint32
+	UID   uint32
+	GID   uint32
+	Nlink uint32
+	Size  uint32
+	Atime nfsproto.Time
+	Mtime nfsproto.Time
+	Ctime nfsproto.Time
+
+	blocks map[uint32][]byte // file data, BlockSize chunks
+	dir    []DirEnt          // directory entries, sorted by name
+	target string            // symlink target
+}
+
+// FS is the exported filesystem.
+type FS struct {
+	mu      sync.Mutex
+	FSID    uint32
+	Disk    *Disk
+	clock   func() nfsproto.Time
+	inodes  map[uint32]*Inode
+	nextIno uint32
+	root    *Inode
+	// Capacity in blocks, for STATFS.
+	TotalBlocks uint32
+	usedBlocks  uint32
+}
+
+// New creates an empty filesystem. clock supplies file timestamps (wire it
+// to the simulation clock); nil uses a counter so timestamps still advance.
+func New(fsid uint32, disk *Disk, clock func() nfsproto.Time) *FS {
+	fs := &FS{
+		FSID:        fsid,
+		Disk:        disk,
+		clock:       clock,
+		inodes:      make(map[uint32]*Inode),
+		nextIno:     2, // 2 is the traditional root inode
+		TotalBlocks: 65536,
+	}
+	if fs.clock == nil {
+		var tick uint32
+		fs.clock = func() nfsproto.Time {
+			tick++
+			return nfsproto.Time{Sec: tick / 100, USec: (tick % 100) * 10000}
+		}
+	}
+	fs.root = fs.newInode(nfsproto.TypeDir, 0755)
+	fs.root.Nlink = 2
+	return fs
+}
+
+func (fs *FS) newInode(typ nfsproto.FileType, mode uint32) *Inode {
+	now := fs.clock()
+	ino := &Inode{
+		Ino: fs.nextIno, Gen: 1, Type: typ, Mode: mode,
+		Nlink: 1, Atime: now, Mtime: now, Ctime: now,
+	}
+	if typ == nfsproto.TypeReg {
+		ino.blocks = make(map[uint32][]byte)
+	}
+	fs.nextIno++
+	fs.inodes[ino.Ino] = ino
+	return ino
+}
+
+// Root returns the root directory inode.
+func (fs *FS) Root() *Inode { return fs.root }
+
+// Lock serializes external multi-step access (used by the real-socket
+// server; simulation processes are already serialized).
+func (fs *FS) Lock()   { fs.mu.Lock() }
+func (fs *FS) Unlock() { fs.mu.Unlock() }
+
+// Get resolves an inode number, checking the generation for staleness.
+func (fs *FS) Get(ino, gen uint32) (*Inode, error) {
+	n := fs.inodes[ino]
+	if n == nil || n.Gen != gen {
+		return nil, ErrStale
+	}
+	return n, nil
+}
+
+// Attr fills NFS attributes for the inode.
+func (fs *FS) Attr(n *Inode) nfsproto.Fattr {
+	return nfsproto.Fattr{
+		Type: n.Type, Mode: n.Mode, Nlink: n.Nlink, UID: n.UID, GID: n.GID,
+		Size: n.Size, BlockSize: BlockSize,
+		Blocks: (n.Size + BlockSize - 1) / BlockSize,
+		FSID:   fs.FSID, FileID: n.Ino,
+		Atime: n.Atime, Mtime: n.Mtime, Ctime: n.Ctime,
+	}
+}
+
+// FH builds the NFS file handle for an inode.
+func (fs *FS) FH(n *Inode) nfsproto.FH {
+	return nfsproto.MakeFH(fs.FSID, n.Ino, n.Gen)
+}
+
+// Resolve maps a file handle to an inode.
+func (fs *FS) Resolve(fh nfsproto.FH) (*Inode, error) {
+	fsid, ino, gen := fh.Parts()
+	if fsid != fs.FSID {
+		return nil, ErrStale
+	}
+	return fs.Get(ino, gen)
+}
+
+// findEntry returns the index of name in dir, or -1. The scan itself is
+// free; the *server* charges CPU for it based on its cache discipline.
+func findEntry(dir *Inode, name string) int {
+	for i := range dir.dir {
+		if dir.dir[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Lookup finds name in dir.
+func (fs *FS) Lookup(dir *Inode, name string) (*Inode, error) {
+	if dir.Type != nfsproto.TypeDir {
+		return nil, ErrNotDir
+	}
+	if name == "." {
+		return dir, nil
+	}
+	if len(name) > nfsproto.MaxNameLen {
+		return nil, ErrNameLen
+	}
+	i := findEntry(dir, name)
+	if i < 0 {
+		return nil, ErrNoEnt
+	}
+	n := fs.inodes[dir.dir[i].Ino]
+	if n == nil {
+		return nil, ErrStale
+	}
+	return n, nil
+}
+
+// DirEntries returns the directory's entries (".." handling is left to the
+// server; the root's parent is itself).
+func (fs *FS) DirEntries(dir *Inode) []DirEnt { return dir.dir }
+
+// NumDirBlocks returns how many directory blocks the directory occupies
+// (~32 entries per block, the scale a real UFS directory block holds).
+func NumDirBlocks(dir *Inode) int {
+	n := (len(dir.dir) + 31) / 32
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+func (fs *FS) touch(n *Inode, mtime bool) {
+	now := fs.clock()
+	n.Atime = now
+	if mtime {
+		n.Mtime = now
+		n.Ctime = now
+	}
+}
+
+// insertEntry adds an entry keeping the list sorted.
+func insertEntry(dir *Inode, e DirEnt) {
+	i := sort.Search(len(dir.dir), func(i int) bool { return dir.dir[i].Name >= e.Name })
+	dir.dir = append(dir.dir, DirEnt{})
+	copy(dir.dir[i+1:], dir.dir[i:])
+	dir.dir[i] = e
+}
+
+// Create makes a regular file. The disk pays a directory write plus an
+// inode write (synchronously, per NFS statelessness).
+func (fs *FS) Create(p *sim.Proc, dir *Inode, name string, mode uint32) (*Inode, error) {
+	if dir.Type != nfsproto.TypeDir {
+		return nil, ErrNotDir
+	}
+	if len(name) > nfsproto.MaxNameLen {
+		return nil, ErrNameLen
+	}
+	if findEntry(dir, name) >= 0 {
+		return nil, ErrExist
+	}
+	n := fs.newInode(nfsproto.TypeReg, mode)
+	insertEntry(dir, DirEnt{name, n.Ino})
+	fs.touch(dir, true)
+	fs.Disk.Write(p, BlockSize) // directory block
+	fs.Disk.Write(p, 512)       // inode
+	return n, nil
+}
+
+// Mkdir makes a directory.
+func (fs *FS) Mkdir(p *sim.Proc, dir *Inode, name string, mode uint32) (*Inode, error) {
+	if dir.Type != nfsproto.TypeDir {
+		return nil, ErrNotDir
+	}
+	if len(name) > nfsproto.MaxNameLen {
+		return nil, ErrNameLen
+	}
+	if findEntry(dir, name) >= 0 {
+		return nil, ErrExist
+	}
+	n := fs.newInode(nfsproto.TypeDir, mode)
+	n.Nlink = 2
+	dir.Nlink++
+	insertEntry(dir, DirEnt{name, n.Ino})
+	fs.touch(dir, true)
+	fs.Disk.Write(p, BlockSize)
+	fs.Disk.Write(p, 512)
+	return n, nil
+}
+
+// Symlink makes a symbolic link.
+func (fs *FS) Symlink(p *sim.Proc, dir *Inode, name, target string, mode uint32) (*Inode, error) {
+	if dir.Type != nfsproto.TypeDir {
+		return nil, ErrNotDir
+	}
+	if findEntry(dir, name) >= 0 {
+		return nil, ErrExist
+	}
+	n := fs.newInode(nfsproto.TypeLnk, mode)
+	n.target = target
+	n.Size = uint32(len(target))
+	insertEntry(dir, DirEnt{name, n.Ino})
+	fs.touch(dir, true)
+	fs.Disk.Write(p, BlockSize)
+	fs.Disk.Write(p, 512)
+	return n, nil
+}
+
+// Readlink returns a symlink's target.
+func (fs *FS) Readlink(n *Inode) (string, error) {
+	if n.Type != nfsproto.TypeLnk {
+		return "", ErrNoEnt
+	}
+	return n.target, nil
+}
+
+// Remove unlinks a file or symlink.
+func (fs *FS) Remove(p *sim.Proc, dir *Inode, name string) error {
+	i := findEntry(dir, name)
+	if i < 0 {
+		return ErrNoEnt
+	}
+	n := fs.inodes[dir.dir[i].Ino]
+	if n != nil && n.Type == nfsproto.TypeDir {
+		return ErrIsDir
+	}
+	dir.dir = append(dir.dir[:i], dir.dir[i+1:]...)
+	fs.touch(dir, true)
+	if n != nil {
+		n.Nlink--
+		if n.Nlink == 0 {
+			fs.freeInode(n)
+		}
+	}
+	fs.Disk.Write(p, BlockSize)
+	fs.Disk.Write(p, 512)
+	return nil
+}
+
+// Rmdir removes an empty directory.
+func (fs *FS) Rmdir(p *sim.Proc, dir *Inode, name string) error {
+	i := findEntry(dir, name)
+	if i < 0 {
+		return ErrNoEnt
+	}
+	n := fs.inodes[dir.dir[i].Ino]
+	if n == nil || n.Type != nfsproto.TypeDir {
+		return ErrNotDir
+	}
+	if len(n.dir) != 0 {
+		return ErrNotEmpty
+	}
+	dir.dir = append(dir.dir[:i], dir.dir[i+1:]...)
+	dir.Nlink--
+	fs.touch(dir, true)
+	fs.freeInode(n)
+	fs.Disk.Write(p, BlockSize)
+	fs.Disk.Write(p, 512)
+	return nil
+}
+
+func (fs *FS) freeInode(n *Inode) {
+	fs.usedBlocks -= (n.Size + BlockSize - 1) / BlockSize
+	delete(fs.inodes, n.Ino)
+}
+
+// Rename moves an entry. Directories may be renamed only within the same
+// parent (sufficient for the benchmarks).
+func (fs *FS) Rename(p *sim.Proc, from *Inode, fromName string, to *Inode, toName string) error {
+	i := findEntry(from, fromName)
+	if i < 0 {
+		return ErrNoEnt
+	}
+	if from == to && fromName == toName {
+		return nil // renaming onto itself is a no-op, per POSIX
+	}
+	ent := from.dir[i]
+	if j := findEntry(to, toName); j >= 0 {
+		// Target exists: replace it (files only).
+		tn := fs.inodes[to.dir[j].Ino]
+		if tn != nil && tn.Type == nfsproto.TypeDir {
+			return ErrIsDir
+		}
+		if tn != nil {
+			tn.Nlink--
+			if tn.Nlink == 0 {
+				fs.freeInode(tn)
+			}
+		}
+		to.dir = append(to.dir[:j], to.dir[j+1:]...)
+		if to == from && j < i {
+			i--
+		}
+	}
+	from.dir = append(from.dir[:i], from.dir[i+1:]...)
+	insertEntry(to, DirEnt{toName, ent.Ino})
+	fs.touch(from, true)
+	if to != from {
+		fs.touch(to, true)
+	}
+	fs.Disk.Write(p, BlockSize)
+	fs.Disk.Write(p, BlockSize)
+	return nil
+}
+
+// Link makes a hard link.
+func (fs *FS) Link(p *sim.Proc, n *Inode, dir *Inode, name string) error {
+	if dir.Type != nfsproto.TypeDir {
+		return ErrNotDir
+	}
+	if n.Type == nfsproto.TypeDir {
+		return ErrIsDir
+	}
+	if findEntry(dir, name) >= 0 {
+		return ErrExist
+	}
+	insertEntry(dir, DirEnt{name, n.Ino})
+	n.Nlink++
+	fs.touch(dir, true)
+	fs.Disk.Write(p, BlockSize)
+	fs.Disk.Write(p, 512)
+	return nil
+}
+
+// Setattr applies settable attributes; NoValue fields are skipped.
+func (fs *FS) Setattr(p *sim.Proc, n *Inode, s nfsproto.Sattr) {
+	if s.Mode != nfsproto.NoValue {
+		n.Mode = s.Mode
+	}
+	if s.UID != nfsproto.NoValue {
+		n.UID = s.UID
+	}
+	if s.GID != nfsproto.NoValue {
+		n.GID = s.GID
+	}
+	if s.Size != nfsproto.NoValue {
+		fs.truncate(n, s.Size)
+	}
+	if s.Atime.Sec != nfsproto.NoValue {
+		n.Atime = s.Atime
+	}
+	if s.Mtime.Sec != nfsproto.NoValue {
+		n.Mtime = s.Mtime
+	}
+	n.Ctime = fs.clock()
+	fs.Disk.Write(p, 512)
+}
+
+func (fs *FS) truncate(n *Inode, size uint32) {
+	if n.Type != nfsproto.TypeReg {
+		return
+	}
+	oldBlocks := (n.Size + BlockSize - 1) / BlockSize
+	newBlocks := (size + BlockSize - 1) / BlockSize
+	for b := newBlocks; b < oldBlocks; b++ {
+		delete(n.blocks, b)
+	}
+	if size < n.Size && size%BlockSize != 0 {
+		if blk := n.blocks[size/BlockSize]; blk != nil {
+			for i := size % BlockSize; i < BlockSize; i++ {
+				blk[i] = 0
+			}
+		}
+	}
+	if newBlocks >= oldBlocks {
+		fs.usedBlocks += newBlocks - oldBlocks
+	} else {
+		fs.usedBlocks -= oldBlocks - newBlocks
+	}
+	n.Size = size
+	n.Mtime = fs.clock()
+}
+
+// ReadAt reads up to len(dst) bytes at off; short reads happen at EOF.
+// cached=false charges a disk read.
+func (fs *FS) ReadAt(p *sim.Proc, n *Inode, off uint32, dst []byte, cached bool) (int, error) {
+	if n.Type == nfsproto.TypeDir {
+		return 0, ErrIsDir
+	}
+	if off >= n.Size {
+		return 0, nil
+	}
+	want := uint32(len(dst))
+	if off+want > n.Size {
+		want = n.Size - off
+	}
+	if !cached {
+		fs.Disk.Read(p, int(want))
+	}
+	got := uint32(0)
+	for got < want {
+		b := (off + got) / BlockSize
+		bo := (off + got) % BlockSize
+		nn := BlockSize - bo
+		if nn > want-got {
+			nn = want - got
+		}
+		blk := n.blocks[b]
+		if blk == nil {
+			// Hole: zeros.
+			for i := uint32(0); i < nn; i++ {
+				dst[got+i] = 0
+			}
+		} else {
+			copy(dst[got:got+nn], blk[bo:bo+nn])
+		}
+		got += nn
+	}
+	fs.touch(n, false)
+	return int(got), nil
+}
+
+// WriteAt writes src at off, growing the file as needed. diskWrites charges
+// that many synchronous disk operations (NFS v2 demands the data and
+// metadata be stable before the reply; §5 counts 1-3 per write RPC).
+func (fs *FS) WriteAt(p *sim.Proc, n *Inode, off uint32, src []byte, diskWrites int) error {
+	if n.Type == nfsproto.TypeDir {
+		return ErrIsDir
+	}
+	if int(off)+len(src) > int(fs.TotalBlocks)*BlockSize {
+		return ErrNoSpc
+	}
+	done := uint32(0)
+	for done < uint32(len(src)) {
+		b := (off + done) / BlockSize
+		bo := (off + done) % BlockSize
+		nn := uint32(BlockSize) - bo
+		if nn > uint32(len(src))-done {
+			nn = uint32(len(src)) - done
+		}
+		blk := n.blocks[b]
+		if blk == nil {
+			blk = make([]byte, BlockSize)
+			n.blocks[b] = blk
+			fs.usedBlocks++
+		}
+		copy(blk[bo:], src[done:done+nn])
+		done += nn
+	}
+	if off+done > n.Size {
+		n.Size = off + done
+	}
+	fs.touch(n, true)
+	for i := 0; i < diskWrites; i++ {
+		sz := len(src)
+		if i > 0 {
+			sz = 512 // inode / indirect block updates
+		}
+		fs.Disk.Write(p, sz)
+	}
+	return nil
+}
+
+// Statfs reports filesystem capacity.
+func (fs *FS) Statfs() nfsproto.StatfsRes {
+	return nfsproto.StatfsRes{
+		Status: nfsproto.OK,
+		TSize:  nfsproto.MaxData,
+		BSize:  BlockSize,
+		Blocks: fs.TotalBlocks,
+		BFree:  fs.TotalBlocks - fs.usedBlocks,
+		BAvail: fs.TotalBlocks - fs.usedBlocks,
+	}
+}
+
+// NumInodes returns the live inode count.
+func (fs *FS) NumInodes() int { return len(fs.inodes) }
+
+// String summarizes the filesystem for debugging.
+func (fs *FS) String() string {
+	return fmt.Sprintf("memfs{fsid=%d inodes=%d used=%d blocks}", fs.FSID, len(fs.inodes), fs.usedBlocks)
+}

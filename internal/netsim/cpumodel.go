@@ -1,0 +1,90 @@
+package netsim
+
+import (
+	"time"
+
+	"renonfs/internal/sim"
+)
+
+// CPUModel is the calibrated per-operation CPU cost table for a simulated
+// host. Costs are expressed in microseconds on a 1.0 MIPS machine and
+// scaled by the node's MIPS rating, so the same table describes both a
+// MicroVAXII (0.9 MIPS) and a DECstation 3100 (~12 MIPS).
+//
+// Calibration anchors (see DESIGN.md §4): on a MicroVAXII the server-side
+// cost of a UDP lookup RPC is ≈5 ms and of an 8 KB UDP read RPC ≈35 ms;
+// TCP adds ≈1 ms to a lookup and ≈7 ms to a read (Graphs 1-2, Graph 6);
+// the NIC copy path is the largest single consumer before the §3 tuning,
+// and page-remap TX plus transmit-interrupt elimination recover ≈12% of
+// total CPU under a read-heavy load.
+type CPUModel struct {
+	// MIPS scales every cost; 1.0 means the table values apply directly.
+	MIPS float64
+
+	// EtherTxPkt / EtherRxPkt: network-interface driver cost per packet
+	// (the DEQNA was "real slow").
+	EtherTxPkt float64
+	EtherRxPkt float64
+	// TxInterrupt: transmit-completion interrupt service, charged per
+	// transmitted packet when the node takes TX interrupts (§3 removes it).
+	TxInterrupt float64
+	// NICCopyPerByte: copying mbuf data into NIC transmit buffers. With
+	// page-remap TX, cluster bytes are mapped by page-table swaps and only
+	// non-cluster bytes pay this cost (§3).
+	NICCopyPerByte float64
+	// PageRemap: fixed cost of swapping one cluster's page table entry.
+	PageRemap float64
+	// RemapCoverage is the fraction of cluster payload bytes the TX
+	// page-remap actually avoids copying. IP fragments are carved at MTU
+	// boundaries that do not align with 2 KB clusters, so partial clusters
+	// at fragment edges still go through the copy path; the paper's
+	// overall ~12% CPU recovery implies partial coverage.
+	RemapCoverage float64
+	// ChecksumPerByte: the Internet checksum, charged over each datagram's
+	// transport payload on both send and receive.
+	ChecksumPerByte float64
+	// IPPkt: IP input/output processing per packet (fragment).
+	IPPkt float64
+	// UDPPkt / TCPPkt: transport processing per datagram/segment. TCP pays
+	// more per packet and also processes pure ACK packets, which is where
+	// its ≈20% CPU premium comes from.
+	UDPPkt float64
+	TCPPkt float64
+	// ForwardPkt: store-and-forward routing cost per packet on IP routers.
+	ForwardPkt float64
+}
+
+// DefaultModel returns the calibrated cost table at the given MIPS rating.
+func DefaultModel(mips float64) CPUModel {
+	return CPUModel{
+		MIPS:            mips,
+		EtherTxPkt:      420,
+		EtherRxPkt:      420,
+		TxInterrupt:     180,
+		NICCopyPerByte:  1.0,
+		PageRemap:       40,
+		RemapCoverage:   0.4,
+		ChecksumPerByte: 0.55,
+		IPPkt:           130,
+		UDPPkt:          350,
+		TCPPkt:          550,
+		ForwardPkt:      1300,
+	}
+}
+
+// Cost converts a table value (µs at 1 MIPS) to virtual time on this CPU.
+func (m *CPUModel) Cost(us float64) sim.Time {
+	return sim.Time(us / m.MIPS * float64(time.Microsecond))
+}
+
+// CostBytes converts a per-byte table value applied to n bytes.
+func (m *CPUModel) CostBytes(perByte float64, n int) sim.Time {
+	return m.Cost(perByte * float64(n))
+}
+
+// Standard MIPS ratings used by the experiments.
+const (
+	MIPSMicroVAXII = 0.9  // client and server testbed machines
+	MIPSDS3100     = 12.0 // the "fast client" for Table 4
+	MIPSRouter     = 2.0  // campus IP routers of the era
+)

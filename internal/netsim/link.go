@@ -1,0 +1,168 @@
+package netsim
+
+import (
+	"time"
+
+	"renonfs/internal/sim"
+)
+
+// LinkConfig describes one network segment.
+type LinkConfig struct {
+	Name string
+	// BitsPerSec is the raw bandwidth.
+	BitsPerSec int64
+	// MTU is the largest frame (including the 34-byte framing/IP overhead)
+	// the link carries.
+	MTU int
+	// PropDelay is the one-way propagation delay.
+	PropDelay sim.Time
+	// QueueLen bounds the transmit queue (drop-tail). Zero means 32.
+	QueueLen int
+	// LossProb is the per-frame random loss probability, modelling cross
+	// traffic, collisions and noisy serial lines.
+	LossProb float64
+	// BgUtil in [0,1) models background cross-traffic: each frame may wait
+	// behind an exponentially distributed burst of foreign traffic.
+	BgUtil float64
+}
+
+// LinkStats are cumulative per-direction counters.
+type LinkStats struct {
+	Frames     int
+	Bytes      int
+	Lost       int // random loss
+	QueueDrops int // drop-tail overflow
+}
+
+// Link is one direction of a connection. Frames wait in a finite drop-tail
+// queue, serialize at link bandwidth (plus background-traffic waiting) and
+// arrive at the far node after the propagation delay.
+type Link struct {
+	cfg  LinkConfig
+	env  *sim.Env
+	net  *Net
+	to   *Node
+	q    *sim.Queue[*packet]
+	Stat LinkStats
+}
+
+func newLink(env *sim.Env, cfg LinkConfig, from, to *Node) *Link {
+	if cfg.QueueLen == 0 {
+		cfg.QueueLen = 32
+	}
+	l := &Link{cfg: cfg, env: env, net: from.net, to: to}
+	l.q = sim.NewQueue[*packet](env, cfg.Name+".q")
+	l.q.MaxLen = cfg.QueueLen
+	env.Spawn(cfg.Name+"("+from.Name+"->"+to.Name+")", l.run)
+	return l
+}
+
+// Config returns the link configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// enqueue offers a frame to the transmit queue; overflow is dropped.
+func (l *Link) enqueue(pk *packet) {
+	if !l.q.Send(pk) {
+		l.Stat.QueueDrops++
+		l.net.trace(l.env.Now(), l.cfg.Name, TraceQDrop, pk)
+	}
+}
+
+// txTime returns the serialization time for n wire bytes.
+func (l *Link) txTime(n int) sim.Time {
+	return sim.Time(float64(n*8) / float64(l.cfg.BitsPerSec) * float64(time.Second))
+}
+
+// run is the transmitter process for this direction.
+func (l *Link) run(p *sim.Proc) {
+	rng := p.Rand()
+	for {
+		pk, ok := l.q.Recv(p)
+		if !ok {
+			return
+		}
+		// Background cross-traffic: with probability BgUtil the medium is
+		// busy and we wait behind an exponential burst of foreign frames.
+		if u := l.cfg.BgUtil; u > 0 && rng.Float64() < u {
+			mean := float64(l.txTime(600)) / (1 - u)
+			p.Sleep(sim.Time(rng.ExpFloat64() * mean))
+		}
+		p.Sleep(l.txTime(pk.wireBytes()))
+		l.Stat.Frames++
+		l.Stat.Bytes += pk.wireBytes()
+		if l.cfg.LossProb > 0 && rng.Float64() < l.cfg.LossProb {
+			l.Stat.Lost++
+			l.net.trace(p.Now(), l.cfg.Name, TraceLoss, pk)
+			continue
+		}
+		// Propagation happens off the transmitter's clock so back-to-back
+		// frames pipeline.
+		dst := l.to
+		frame := pk
+		p.Env().After(l.cfg.PropDelay, func() { dst.rxq.Send(frame) })
+	}
+}
+
+// LongFatPipe returns a T1-class link with transcontinental propagation
+// delay: high bandwidth-delay product, the regime where read-ahead depth
+// and request pipelining decide throughput (Future Directions,
+// [Jacobson88b]).
+func LongFatPipe(name string) LinkConfig {
+	return LinkConfig{
+		Name:       name,
+		BitsPerSec: 1_544_000,
+		MTU:        1500 + etherIPHeader,
+		PropDelay:  150 * time.Millisecond,
+		QueueLen:   40,
+		LossProb:   0.0005,
+		BgUtil:     0.05,
+	}
+}
+
+// Standard link configurations for the paper's three interconnects.
+
+// Ethernet returns a lightly loaded 10 Mbit/s Ethernet segment.
+func Ethernet(name string) LinkConfig {
+	return LinkConfig{
+		Name:       name,
+		BitsPerSec: 10_000_000,
+		MTU:        1500 + etherIPHeader,
+		PropDelay:  50 * time.Microsecond,
+		QueueLen:   30,
+		LossProb:   0.0002,
+		BgUtil:     0.03,
+	}
+}
+
+// TokenRing returns the 80 Mbit/s campus backbone ring with realistic
+// off-peak cross traffic.
+func TokenRing(name string) LinkConfig {
+	return LinkConfig{
+		Name:       name,
+		BitsPerSec: 80_000_000,
+		MTU:        4464 + etherIPHeader,
+		PropDelay:  400 * time.Microsecond,
+		QueueLen:   24,
+		LossProb:   0.002,
+		BgUtil:     0.15,
+	}
+}
+
+// SerialLine returns the 56 Kbit/s point-to-point link. After hours it
+// carries almost no other load, but its tiny bandwidth makes its queue the
+// system bottleneck.
+func SerialLine(name string) LinkConfig {
+	return LinkConfig{
+		Name:       name,
+		BitsPerSec: 56_000,
+		MTU:        1006 + etherIPHeader,
+		PropDelay:  8 * time.Millisecond,
+		// A short queue, as serial interfaces of the era had: one 8 KB
+		// datagram is 9 fragments, so a single burst fits but two
+		// concurrent ones overflow it and drop fragments — each of which
+		// loses a whole datagram.
+		QueueLen: 12,
+		LossProb: 0.002,
+		BgUtil:   0.02,
+	}
+}

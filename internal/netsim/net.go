@@ -1,0 +1,421 @@
+// Package netsim models hosts, network interfaces, links and IP routers on
+// top of the discrete-event kernel in internal/sim.
+//
+// A Node owns a CPU (a FIFO sim.Resource) and a calibrated CPUModel; every
+// protocol action — driver work, copies, checksums, IP/UDP/TCP processing,
+// forwarding — is charged to the CPU in virtual time under a named profile
+// bucket, so experiments can report both utilization (Graph 6) and a §3
+// style profile breakdown. Links have finite drop-tail queues, bandwidth,
+// propagation delay, random loss and background cross-traffic, which is
+// where the fragmentation-amplified loss driving §4's results comes from.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"renonfs/internal/ipfrag"
+	"renonfs/internal/mbuf"
+	"renonfs/internal/sim"
+)
+
+// NodeID identifies a node within a Net.
+type NodeID int
+
+// Protocol numbers for datagram demultiplexing.
+const (
+	ProtoUDP = 17
+	ProtoTCP = 6
+)
+
+// Wire overheads in bytes.
+const (
+	etherIPHeader = 34 // Ethernet framing + IP header per fragment
+	udpHeader     = 8
+	tcpHeader     = 20
+)
+
+// Datagram is a transport-layer datagram or segment in flight. Payload is
+// never copied by the network: fragments carry views and the receiver gets
+// the original chain when all fragments arrive.
+type Datagram struct {
+	Src, Dst         NodeID
+	Proto            uint8
+	SrcPort, DstPort int
+	// HeaderBytes is the transport header size counted on the wire (and in
+	// checksum cost) but not present in Payload.
+	HeaderBytes int
+	Payload     *mbuf.Chain
+	// Meta carries transport-private state (the TCP segment header).
+	Meta any
+	ID   uint32
+}
+
+// Len returns the transport payload length in bytes.
+func (dg *Datagram) Len() int {
+	if dg.Payload == nil {
+		return 0
+	}
+	return dg.Payload.Len()
+}
+
+// packet is one link-layer frame: a fragment of a datagram.
+type packet struct {
+	dg   *Datagram
+	frag ipfrag.Frag
+}
+
+// wireBytes is the frame size on the wire.
+func (p *packet) wireBytes() int {
+	n := etherIPHeader + p.frag.Len
+	if p.frag.Off == 0 {
+		n += p.dg.HeaderBytes
+	}
+	return n
+}
+
+// NodeConfig describes a host or router.
+type NodeConfig struct {
+	Name string
+	// MIPS sets the CPU speed; zero defaults to MIPSMicroVAXII.
+	MIPS float64
+	// Forward makes the node an IP router: packets not addressed to it are
+	// forwarded rather than dropped.
+	Forward bool
+	// PageRemapTx enables the §3 optimization: cluster mbufs are mapped
+	// into NIC buffers by page-table swaps instead of copied.
+	PageRemapTx bool
+	// NoTxInterrupts enables the §3 optimization that disables transmit
+	// interrupts and does buffer release in the start routine.
+	NoTxInterrupts bool
+}
+
+// NodeStats are cumulative per-node counters.
+type NodeStats struct {
+	PktsOut, PktsIn   int
+	BytesOut, BytesIn int
+	DgramsOut         int
+	DgramsIn          int
+	Forwarded         int
+	ReasmExpired      int
+	NoPortDrops       int
+}
+
+// Node is a simulated host or router.
+type Node struct {
+	ID    NodeID
+	Name  string
+	CPU   *sim.Resource
+	Model CPUModel
+	cfg   NodeConfig
+	net   *Net
+
+	ifaces  []*Link          // outgoing links
+	peer    map[NodeID]*Link // outgoing link by neighbour
+	routes  map[NodeID]*Link // outgoing link by final destination
+	rxq     *sim.Queue[*packet]
+	reasm   *ipfrag.Reassembler
+	ports   map[portKey]*sim.Queue[*Datagram]
+	dgramID uint32
+
+	Stats   NodeStats
+	profile map[string]sim.Time
+}
+
+type portKey struct {
+	proto uint8
+	port  int
+}
+
+// Net is a collection of nodes and links sharing one simulation
+// environment.
+type Net struct {
+	Env    *sim.Env
+	nodes  []*Node
+	tracer Tracer
+}
+
+// New returns an empty network bound to env.
+func New(env *sim.Env) *Net { return &Net{Env: env} }
+
+// Nodes returns all nodes in creation order.
+func (nt *Net) Nodes() []*Node { return nt.nodes }
+
+// AddNode creates a node and starts its receive process.
+func (nt *Net) AddNode(cfg NodeConfig) *Node {
+	if cfg.MIPS == 0 {
+		cfg.MIPS = MIPSMicroVAXII
+	}
+	n := &Node{
+		ID:      NodeID(len(nt.nodes)),
+		Name:    cfg.Name,
+		CPU:     sim.NewResource(nt.Env, cfg.Name+".cpu", 1),
+		Model:   DefaultModel(cfg.MIPS),
+		cfg:     cfg,
+		net:     nt,
+		peer:    make(map[NodeID]*Link),
+		routes:  make(map[NodeID]*Link),
+		rxq:     sim.NewQueue[*packet](nt.Env, cfg.Name+".rxq"),
+		reasm:   ipfrag.NewReassembler(15 * 1e9), // 15s, classic BSD value
+		ports:   make(map[portKey]*sim.Queue[*Datagram]),
+		profile: make(map[string]sim.Time),
+	}
+	nt.nodes = append(nt.nodes, n)
+	nt.Env.Spawn(cfg.Name+".softnet", n.softnet)
+	return n
+}
+
+// Config returns the node's configuration.
+func (n *Node) Config() NodeConfig { return n.cfg }
+
+// Net returns the network the node belongs to.
+func (n *Node) Net() *Net { return n.net }
+
+// PathMTUTo returns the smallest MTU on the route to dst.
+func (n *Node) PathMTUTo(dst NodeID) int { return n.net.PathMTU(n.ID, dst) }
+
+// ChargeCPU charges d of CPU time under a profile bucket, blocking the
+// calling process while the CPU is busy with earlier work.
+func (n *Node) ChargeCPU(p *sim.Proc, bucket string, d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	n.profile[bucket] += d
+	n.CPU.Use(p, d)
+}
+
+// ProfileBucket is one row of a CPU profile report.
+type ProfileBucket struct {
+	Name string
+	Time sim.Time
+}
+
+// Profile returns the accumulated CPU profile, largest bucket first — the
+// simulator's version of the kernel profiling in §3.
+func (n *Node) Profile() []ProfileBucket {
+	out := make([]ProfileBucket, 0, len(n.profile))
+	for k, v := range n.profile {
+		out = append(out, ProfileBucket{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time > out[j].Time
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// ResetProfile clears profile buckets and restarts CPU utilization
+// accounting (used to exclude warm-up from measurements).
+func (n *Node) ResetProfile() {
+	n.profile = make(map[string]sim.Time)
+	n.CPU.ResetStats()
+}
+
+// Connect joins a and b with a bidirectional link (two unidirectional
+// halves sharing one configuration).
+func (nt *Net) Connect(a, b *Node, cfg LinkConfig) {
+	ab := newLink(nt.Env, cfg, a, b)
+	ba := newLink(nt.Env, cfg, b, a)
+	a.ifaces = append(a.ifaces, ab)
+	b.ifaces = append(b.ifaces, ba)
+	a.peer[b.ID] = ab
+	b.peer[a.ID] = ba
+}
+
+// ComputeRoutes fills every node's route table by BFS over the link graph
+// (all links weigh 1, like the static routes of the era).
+func (nt *Net) ComputeRoutes() {
+	for _, src := range nt.nodes {
+		// BFS from src.
+		prev := make(map[NodeID]NodeID)
+		visited := map[NodeID]bool{src.ID: true}
+		queue := []NodeID{src.ID}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for nb := range nt.nodes[cur].peer {
+				if !visited[nb] {
+					visited[nb] = true
+					prev[nb] = cur
+					queue = append(queue, nb)
+				}
+			}
+		}
+		for _, dst := range nt.nodes {
+			if dst.ID == src.ID || !visited[dst.ID] {
+				continue
+			}
+			// Walk back from dst to find the first hop.
+			hop := dst.ID
+			for prev[hop] != src.ID {
+				hop = prev[hop]
+			}
+			src.routes[dst.ID] = src.peer[hop]
+		}
+	}
+}
+
+// PathMTU returns the smallest MTU along the route from a to b, which TCP
+// uses to size segments (the era's equivalent of knowing your interconnect).
+func (nt *Net) PathMTU(a, b NodeID) int {
+	mtu := 1 << 30
+	cur := a
+	for cur != b {
+		lk := nt.nodes[cur].routes[b]
+		if lk == nil {
+			panic(fmt.Sprintf("netsim: no route %v -> %v", a, b))
+		}
+		if lk.cfg.MTU < mtu {
+			mtu = lk.cfg.MTU
+		}
+		cur = lk.to.ID
+	}
+	return mtu
+}
+
+// nextDgramID returns a fresh datagram id for this node.
+func (n *Node) nextDgramID() uint32 {
+	n.dgramID++
+	return n.dgramID
+}
+
+// Bind registers a receive queue for (proto, port) and returns it. Binding
+// a taken port panics: port allocation is static in the experiments.
+func (n *Node) Bind(proto uint8, port int) *sim.Queue[*Datagram] {
+	k := portKey{proto, port}
+	if _, dup := n.ports[k]; dup {
+		panic(fmt.Sprintf("netsim: %s: port %d/%d already bound", n.Name, proto, port))
+	}
+	q := sim.NewQueue[*Datagram](n.net.Env, fmt.Sprintf("%s.port%d", n.Name, port))
+	n.ports[k] = q
+	return q
+}
+
+// Unbind releases a bound port.
+func (n *Node) Unbind(proto uint8, port int) {
+	delete(n.ports, portKey{proto, port})
+}
+
+// SendDatagram fragments and transmits dg toward its destination, charging
+// the sending node's CPU for transport, IP, copy and driver work. It runs
+// in the calling process.
+func (n *Node) SendDatagram(p *sim.Proc, dg *Datagram) {
+	if dg.ID == 0 {
+		dg.ID = n.nextDgramID()
+	}
+	m := &n.Model
+	// Transport-level processing + checksum over the payload.
+	switch dg.Proto {
+	case ProtoUDP:
+		n.ChargeCPU(p, "udp", m.Cost(m.UDPPkt))
+	case ProtoTCP:
+		n.ChargeCPU(p, "tcp", m.Cost(m.TCPPkt))
+	}
+	n.ChargeCPU(p, "checksum", m.CostBytes(m.ChecksumPerByte, dg.Len()+dg.HeaderBytes))
+
+	lk := n.routes[dg.Dst]
+	if lk == nil {
+		panic(fmt.Sprintf("netsim: %s: no route to node %d", n.Name, dg.Dst))
+	}
+	frags := ipfrag.Split(dg.Len(), lk.cfg.MTU-etherIPHeader)
+	for _, f := range frags {
+		n.transmit(p, lk, &packet{dg: dg, frag: f})
+	}
+	n.Stats.DgramsOut++
+}
+
+// transmit charges per-packet TX costs and enqueues the frame on the link.
+func (n *Node) transmit(p *sim.Proc, lk *Link, pk *packet) {
+	m := &n.Model
+	n.ChargeCPU(p, "ip", m.Cost(m.IPPkt))
+	// NIC copy: with page-remap TX only non-cluster bytes are copied and
+	// each cluster pays a page-table swap instead.
+	copyBytes := pk.wireBytes()
+	if n.cfg.PageRemapTx && pk.dg.Payload != nil && pk.frag.Len > 0 {
+		view := pk.dg.Payload.Range(pk.frag.Off, pk.frag.Len)
+		nclusters, clBytes := view.Clusters()
+		copyBytes -= int(float64(clBytes) * m.RemapCoverage)
+		n.ChargeCPU(p, "nic_remap", m.Cost(float64(nclusters)*m.PageRemap))
+	}
+	n.ChargeCPU(p, "nic_copy", m.CostBytes(m.NICCopyPerByte, copyBytes))
+	n.ChargeCPU(p, "nic_drv", m.Cost(m.EtherTxPkt))
+	if !n.cfg.NoTxInterrupts {
+		n.ChargeCPU(p, "tx_intr", m.Cost(m.TxInterrupt))
+	}
+	n.Stats.PktsOut++
+	n.Stats.BytesOut += pk.wireBytes()
+	n.net.trace(n.net.Env.Now(), n.Name, TraceSend, pk)
+	lk.enqueue(pk)
+}
+
+// softnet is the node's receive process: it drains arriving frames,
+// charges receive-path CPU, forwards (routers) or reassembles and
+// demultiplexes (hosts).
+func (n *Node) softnet(p *sim.Proc) {
+	m := &n.Model
+	for {
+		pk, ok := n.rxq.Recv(p)
+		if !ok {
+			return
+		}
+		n.Stats.PktsIn++
+		n.Stats.BytesIn += pk.wireBytes()
+		if pk.dg.Dst != n.ID {
+			if !n.cfg.Forward {
+				continue // not for us and we are no router: drop
+			}
+			n.ChargeCPU(p, "forward", m.Cost(m.ForwardPkt))
+			lk := n.routes[pk.dg.Dst]
+			if lk == nil {
+				continue
+			}
+			// Fragment further if the next link's MTU is smaller.
+			maxPayload := lk.cfg.MTU - etherIPHeader
+			if pk.frag.Len > maxPayload {
+				for _, sub := range ipfrag.Split(pk.frag.Len, maxPayload) {
+					n.Stats.PktsOut++
+					spk := &packet{dg: pk.dg, frag: ipfrag.Frag{
+						Off:  pk.frag.Off + sub.Off,
+						Len:  sub.Len,
+						More: sub.More || pk.frag.More,
+					}}
+					n.Stats.BytesOut += spk.wireBytes()
+					lk.enqueue(spk)
+				}
+			} else {
+				n.Stats.PktsOut++
+				n.Stats.BytesOut += pk.wireBytes()
+				lk.enqueue(pk)
+			}
+			n.Stats.Forwarded++
+			n.net.trace(p.Now(), n.Name, TraceFwd, pk)
+			continue
+		}
+		// Host receive path.
+		n.net.trace(p.Now(), n.Name, TraceRecv, pk)
+		n.ChargeCPU(p, "nic_drv", m.Cost(m.EtherRxPkt))
+		n.ChargeCPU(p, "ip", m.Cost(m.IPPkt))
+		key := ipfrag.Key{Src: int(pk.dg.Src), ID: pk.dg.ID}
+		if !n.reasm.Add(key, pk.frag, p.Now()) {
+			n.Stats.ReasmExpired += n.reasm.Expire(p.Now())
+			continue
+		}
+		// Datagram complete: transport processing, checksum, demux.
+		switch pk.dg.Proto {
+		case ProtoUDP:
+			n.ChargeCPU(p, "udp", m.Cost(m.UDPPkt))
+		case ProtoTCP:
+			n.ChargeCPU(p, "tcp", m.Cost(m.TCPPkt))
+		}
+		n.ChargeCPU(p, "checksum", m.CostBytes(m.ChecksumPerByte, pk.dg.Len()+pk.dg.HeaderBytes))
+		q := n.ports[portKey{pk.dg.Proto, pk.dg.DstPort}]
+		if q == nil {
+			n.Stats.NoPortDrops++
+			continue
+		}
+		n.Stats.DgramsIn++
+		q.Send(pk.dg)
+	}
+}

@@ -1,0 +1,123 @@
+package netsim
+
+import (
+	"fmt"
+
+	"renonfs/internal/sim"
+)
+
+// Testbed is a built experiment network with the client and server
+// identified.
+type Testbed struct {
+	Net     *Net
+	Client  *Node
+	Server  *Node
+	Routers []*Node
+}
+
+// Topology selects one of the paper's three internetwork configurations
+// (§4): same LAN; two Ethernets joined by the 80 Mbit token ring and two IP
+// routers; and the same with a 56 Kbit/s point-to-point link and a third
+// router in the path.
+type Topology int
+
+const (
+	// TopoLAN: client and server on the same uncongested Ethernet.
+	TopoLAN Topology = iota + 1
+	// TopoRing: Ethernets bridged by the 80 Mbit/s token ring, 2 routers.
+	TopoRing
+	// TopoSlow: token ring plus a 56 Kbit/s serial hop, 3 routers.
+	TopoSlow
+	// TopoLFN: a "long fat pipe" — T1 bandwidth with transcontinental
+	// delay, the experimental testbed the paper's Future Directions asks
+	// for ("performance issues related to many gateway hops and long fat
+	// pipes [Jacobson88b]").
+	TopoLFN
+)
+
+func (t Topology) String() string {
+	switch t {
+	case TopoLAN:
+		return "same-LAN"
+	case TopoRing:
+		return "token-ring"
+	case TopoSlow:
+		return "56kbps-link"
+	case TopoLFN:
+		return "long-fat-pipe"
+	default:
+		return "unknown-topology"
+	}
+}
+
+// BuildMulti constructs a same-LAN testbed with n client hosts (each on
+// its own Ethernet segment to the server, approximating a shared cable),
+// for server-characterization experiments in the style of [Keith90].
+func BuildMulti(env *sim.Env, n int, client, server NodeConfig) *MultiTestbed {
+	nt := New(env)
+	if server.Name == "" {
+		server.Name = "server"
+	}
+	s := nt.AddNode(server)
+	mt := &MultiTestbed{Net: nt, Server: s}
+	for i := 0; i < n; i++ {
+		cfg := client
+		cfg.Name = fmt.Sprintf("client%d", i)
+		c := nt.AddNode(cfg)
+		nt.Connect(c, s, Ethernet(fmt.Sprintf("eth%d", i)))
+		mt.Clients = append(mt.Clients, c)
+	}
+	nt.ComputeRoutes()
+	return mt
+}
+
+// MultiTestbed is a built multi-client testbed.
+type MultiTestbed struct {
+	Net     *Net
+	Server  *Node
+	Clients []*Node
+}
+
+// Build constructs the topology with the given client and server host
+// configurations, computes routes and returns the testbed.
+func Build(env *sim.Env, topo Topology, client, server NodeConfig) *Testbed {
+	nt := New(env)
+	if client.Name == "" {
+		client.Name = "client"
+	}
+	if server.Name == "" {
+		server.Name = "server"
+	}
+	c := nt.AddNode(client)
+	s := nt.AddNode(server)
+	tb := &Testbed{Net: nt, Client: c, Server: s}
+	router := func(name string) *Node {
+		r := nt.AddNode(NodeConfig{Name: name, MIPS: MIPSRouter, Forward: true})
+		tb.Routers = append(tb.Routers, r)
+		return r
+	}
+	switch topo {
+	case TopoLAN:
+		nt.Connect(c, s, Ethernet("eth0"))
+	case TopoRing:
+		r1, r2 := router("r1"), router("r2")
+		nt.Connect(c, r1, Ethernet("eth1"))
+		nt.Connect(r1, r2, TokenRing("ring"))
+		nt.Connect(r2, s, Ethernet("eth2"))
+	case TopoSlow:
+		r1, r2, r3 := router("r1"), router("r2"), router("r3")
+		nt.Connect(c, r1, Ethernet("eth1"))
+		nt.Connect(r1, r2, TokenRing("ring"))
+		nt.Connect(r2, r3, SerialLine("serial"))
+		nt.Connect(r3, s, Ethernet("eth2"))
+	case TopoLFN:
+		r1, r2 := router("r1"), router("r2")
+		nt.Connect(c, r1, Ethernet("eth1"))
+		nt.Connect(r1, r2, LongFatPipe("lfn"))
+		nt.Connect(r2, s, Ethernet("eth2"))
+	default:
+		panic("netsim: unknown topology")
+	}
+	nt.ComputeRoutes()
+	return tb
+}

@@ -1,0 +1,384 @@
+// Package nfsnet serves the same NFS server core — identical mbuf/XDR/RPC
+// codec, dispatch, caches and duplicate-request cache — over real UDP and
+// TCP sockets from the net package, and provides a small synchronous
+// client. It demonstrates the transport-layer independence that §2 of the
+// paper claims for the implementation: nothing in the protocol code knows
+// whether its bytes ride a simulated internetwork or a real socket.
+//
+// A single mutex serializes request handling, playing the role of the
+// single-threaded BSD kernel the original ran in.
+package nfsnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"renonfs/internal/mbuf"
+	"renonfs/internal/nfsproto"
+	"renonfs/internal/rpc"
+	"renonfs/internal/server"
+	"renonfs/internal/xdr"
+)
+
+// Server serves an NFS server core over real sockets.
+type Server struct {
+	srv *server.Server
+	mu  sync.Mutex // the "kernel lock" around the shared server state
+
+	udp *net.UDPConn
+	tcp net.Listener
+
+	closed  chan struct{}
+	closeMu sync.Once
+	wg      sync.WaitGroup
+}
+
+// Serve starts UDP and TCP listeners on the given addresses (use
+// "127.0.0.1:0" to pick free ports).
+func Serve(srv *server.Server, udpAddr, tcpAddr string) (*Server, error) {
+	ua, err := net.ResolveUDPAddr("udp", udpAddr)
+	if err != nil {
+		return nil, err
+	}
+	uc, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	tl, err := net.Listen("tcp", tcpAddr)
+	if err != nil {
+		uc.Close()
+		return nil, err
+	}
+	s := &Server{srv: srv, udp: uc, tcp: tl, closed: make(chan struct{})}
+	s.wg.Add(2)
+	go s.serveUDP()
+	go s.serveTCP()
+	return s, nil
+}
+
+// UDPAddr returns the bound UDP address.
+func (s *Server) UDPAddr() string { return s.udp.LocalAddr().String() }
+
+// TCPAddr returns the bound TCP address.
+func (s *Server) TCPAddr() string { return s.tcp.Addr().String() }
+
+// Close stops the listeners and waits for the serving goroutines.
+func (s *Server) Close() {
+	s.closeMu.Do(func() {
+		close(s.closed)
+		s.udp.Close()
+		s.tcp.Close()
+	})
+	s.wg.Wait()
+}
+
+func (s *Server) handle(peer string, req []byte) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := s.srv.HandleCall(nil, peer, mbuf.FromBytes(req))
+	if rep == nil {
+		return nil
+	}
+	return rep.Bytes()
+}
+
+func (s *Server) serveUDP() {
+	defer s.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, addr, err := s.udp.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				continue
+			}
+		}
+		rep := s.handle("udp:"+addr.String(), buf[:n])
+		if rep != nil {
+			s.udp.WriteToUDP(rep, addr)
+		}
+	}
+}
+
+func (s *Server) serveTCP() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.tcp.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	peer := "tcp:" + conn.RemoteAddr().String()
+	var scan rpc.RecordScanner
+	buf := make([]byte, 65536)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return
+		}
+		recs, err := scan.Feed(buf[:n])
+		if err != nil {
+			return
+		}
+		for _, rec := range recs {
+			rep := s.handle(peer, rec)
+			if rep == nil {
+				continue
+			}
+			var mark [4]byte
+			binary.BigEndian.PutUint32(mark[:], 0x80000000|uint32(len(rep)))
+			if _, err := conn.Write(append(mark[:], rep...)); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// --- Client ---------------------------------------------------------------
+
+// ErrTimeout is returned when a UDP call exhausts its retries.
+var ErrTimeout = errors.New("nfsnet: call timed out")
+
+// Client is a synchronous NFS client over a real socket.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	tcp  bool
+	xid  uint32
+	// Timeout and Retries govern UDP retransmission.
+	Timeout time.Duration
+	Retries int
+	scan    rpc.RecordScanner
+}
+
+// DialUDP connects a UDP client.
+func DialUDP(addr string) (*Client, error) {
+	c, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: c, Timeout: time.Second, Retries: 5, xid: uint32(time.Now().UnixNano())}, nil
+}
+
+// DialTCP connects a TCP client.
+func DialTCP(addr string) (*Client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: c, tcp: true, Timeout: 10 * time.Second, Retries: 1, xid: uint32(time.Now().UnixNano())}, nil
+}
+
+// Close closes the socket.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Call issues one NFS RPC and returns a decoder at the results.
+func (c *Client) Call(proc uint32, args func(e *xdr.Encoder)) (*xdr.Decoder, error) {
+	return c.CallProgram(nfsproto.Program, nfsproto.Version, proc, args)
+}
+
+// CallProgram issues an RPC against any program (the MOUNT protocol in
+// particular) and returns a decoder at the results.
+func (c *Client) CallProgram(prog, vers, proc uint32, args func(e *xdr.Encoder)) (*xdr.Decoder, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.xid++
+	xid := c.xid
+	msg := &mbuf.Chain{}
+	rpc.EncodeCall(msg, &rpc.Call{XID: xid, Prog: prog, Vers: vers, Proc: proc})
+	if args != nil {
+		args(xdr.NewEncoder(msg))
+	}
+	if c.tcp {
+		rpc.AddRecordMark(msg)
+	}
+	wire := msg.Bytes()
+	buf := make([]byte, 65536)
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if _, err := c.conn.Write(wire); err != nil {
+			return nil, err
+		}
+		deadline := time.Now().Add(c.Timeout)
+		for {
+			c.conn.SetReadDeadline(deadline)
+			var rec []byte
+			if c.tcp {
+				n, err := c.conn.Read(buf)
+				if err != nil {
+					if isTimeout(err) {
+						break
+					}
+					return nil, err
+				}
+				recs, err := c.scan.Feed(buf[:n])
+				if err != nil {
+					return nil, err
+				}
+				if len(recs) == 0 {
+					continue
+				}
+				rec = recs[0]
+			} else {
+				n, err := c.conn.Read(buf)
+				if err != nil {
+					if isTimeout(err) {
+						break
+					}
+					return nil, err
+				}
+				rec = buf[:n]
+			}
+			chain := mbuf.FromBytes(rec)
+			got, err := rpc.PeekXID(chain)
+			if err != nil || got != xid {
+				continue // stale reply from an earlier retry
+			}
+			d := xdr.NewDecoder(chain)
+			r, err := rpc.DecodeReply(d)
+			if err != nil {
+				return nil, err
+			}
+			if r.Denied || r.AcceptStat != rpc.Success {
+				return nil, fmt.Errorf("nfsnet: rpc failed (stat %d)", r.AcceptStat)
+			}
+			return d, nil
+		}
+	}
+	return nil, ErrTimeout
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// --- Convenience file operations -----------------------------------------
+
+// Lookup resolves name under dir.
+func (c *Client) Lookup(dir nfsproto.FH, name string) (*nfsproto.DiropRes, error) {
+	d, err := c.Call(nfsproto.ProcLookup, func(e *xdr.Encoder) {
+		(&nfsproto.DiropArgs{Dir: dir, Name: name}).Encode(e)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return nfsproto.DecodeDiropRes(d)
+}
+
+// Getattr stats a handle.
+func (c *Client) Getattr(fh nfsproto.FH) (*nfsproto.AttrRes, error) {
+	d, err := c.Call(nfsproto.ProcGetattr, func(e *xdr.Encoder) {
+		(&nfsproto.GetattrArgs{File: fh}).Encode(e)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return nfsproto.DecodeAttrRes(d)
+}
+
+// Create makes a file.
+func (c *Client) Create(dir nfsproto.FH, name string, mode uint32) (*nfsproto.DiropRes, error) {
+	attr := nfsproto.NewSattr()
+	attr.Mode = mode
+	d, err := c.Call(nfsproto.ProcCreate, func(e *xdr.Encoder) {
+		(&nfsproto.CreateArgs{Where: nfsproto.DiropArgs{Dir: dir, Name: name}, Attr: attr}).Encode(e)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return nfsproto.DecodeDiropRes(d)
+}
+
+// Mkdir makes a directory.
+func (c *Client) Mkdir(dir nfsproto.FH, name string, mode uint32) (*nfsproto.DiropRes, error) {
+	attr := nfsproto.NewSattr()
+	attr.Mode = mode
+	d, err := c.Call(nfsproto.ProcMkdir, func(e *xdr.Encoder) {
+		(&nfsproto.CreateArgs{Where: nfsproto.DiropArgs{Dir: dir, Name: name}, Attr: attr}).Encode(e)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return nfsproto.DecodeDiropRes(d)
+}
+
+// Write writes data at offset.
+func (c *Client) Write(fh nfsproto.FH, offset uint32, data []byte) (*nfsproto.AttrRes, error) {
+	d, err := c.Call(nfsproto.ProcWrite, func(e *xdr.Encoder) {
+		(&nfsproto.WriteArgs{File: fh, Offset: offset, Data: mbuf.FromBytes(data)}).Encode(e)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return nfsproto.DecodeAttrRes(d)
+}
+
+// Read reads count bytes at offset.
+func (c *Client) Read(fh nfsproto.FH, offset, count uint32) (*nfsproto.ReadRes, error) {
+	d, err := c.Call(nfsproto.ProcRead, func(e *xdr.Encoder) {
+		(&nfsproto.ReadArgs{File: fh, Offset: offset, Count: count}).Encode(e)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return nfsproto.DecodeReadRes(d)
+}
+
+// Remove unlinks a file.
+func (c *Client) Remove(dir nfsproto.FH, name string) (*nfsproto.StatusRes, error) {
+	d, err := c.Call(nfsproto.ProcRemove, func(e *xdr.Encoder) {
+		(&nfsproto.DiropArgs{Dir: dir, Name: name}).Encode(e)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return nfsproto.DecodeStatusRes(d)
+}
+
+// Mnt obtains the root handle of an exported path via the MOUNT protocol.
+func (c *Client) Mnt(path string) (*nfsproto.MntRes, error) {
+	d, err := c.CallProgram(nfsproto.MountProgram, nfsproto.MountVersion, nfsproto.MountProcMnt,
+		func(e *xdr.Encoder) { (&nfsproto.MntArgs{DirPath: path}).Encode(e) })
+	if err != nil {
+		return nil, err
+	}
+	return nfsproto.DecodeMntRes(d)
+}
+
+// Exports lists the server's export table.
+func (c *Client) Exports() ([]nfsproto.ExportEntry, error) {
+	d, err := c.CallProgram(nfsproto.MountProgram, nfsproto.MountVersion, nfsproto.MountProcExport, nil)
+	if err != nil {
+		return nil, err
+	}
+	return nfsproto.DecodeExportList(d)
+}
+
+// Readdir lists a directory page.
+func (c *Client) Readdir(dir nfsproto.FH, cookie, count uint32) (*nfsproto.ReaddirRes, error) {
+	d, err := c.Call(nfsproto.ProcReaddir, func(e *xdr.Encoder) {
+		(&nfsproto.ReaddirArgs{Dir: dir, Cookie: cookie, Count: count}).Encode(e)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return nfsproto.DecodeReaddirRes(d)
+}

@@ -1,0 +1,220 @@
+package nfsnet
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"renonfs/internal/memfs"
+	"renonfs/internal/nfsproto"
+	"renonfs/internal/server"
+)
+
+func startServer(t *testing.T) (*Server, *server.Server) {
+	t.Helper()
+	fs := memfs.New(1, nil, nil)
+	srv := server.New(fs, server.Reno())
+	s, err := Serve(srv, "127.0.0.1:0", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s, srv
+}
+
+func exercise(t *testing.T, c *Client, root nfsproto.FH, tag string) {
+	t.Helper()
+	// Create, write, read back, list, remove.
+	cr, err := c.Create(root, "hello-"+tag+".txt", 0644)
+	if err != nil || cr.Status != nfsproto.OK {
+		t.Fatalf("create: %v %v", cr, err)
+	}
+	payload := bytes.Repeat([]byte("the quick brown fox "), 500) // 10 KB
+	for off := 0; off < len(payload); off += nfsproto.MaxData {
+		end := off + nfsproto.MaxData
+		if end > len(payload) {
+			end = len(payload)
+		}
+		wr, err := c.Write(cr.File, uint32(off), payload[off:end])
+		if err != nil || wr.Status != nfsproto.OK {
+			t.Fatalf("write: %v %v", wr, err)
+		}
+	}
+	var got []byte
+	for off := 0; off < len(payload); off += nfsproto.MaxData {
+		rr, err := c.Read(cr.File, uint32(off), nfsproto.MaxData)
+		if err != nil || rr.Status != nfsproto.OK {
+			t.Fatalf("read: %v %v", rr, err)
+		}
+		got = append(got, rr.Data.Bytes()...)
+	}
+	if !bytes.Equal(got[:len(payload)], payload) {
+		t.Fatal("payload corrupted over real sockets")
+	}
+	lk, err := c.Lookup(root, "hello-"+tag+".txt")
+	if err != nil || lk.Status != nfsproto.OK || lk.File != cr.File {
+		t.Fatalf("lookup: %v %v", lk, err)
+	}
+	rd, err := c.Readdir(root, 0, 4096)
+	if err != nil || rd.Status != nfsproto.OK {
+		t.Fatalf("readdir: %v %v", rd, err)
+	}
+	found := false
+	for _, e := range rd.Entries {
+		if e.Name == "hello-"+tag+".txt" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("created file missing from readdir")
+	}
+	rm, err := c.Remove(root, "hello-"+tag+".txt")
+	if err != nil || rm.Status != nfsproto.OK {
+		t.Fatalf("remove: %v %v", rm, err)
+	}
+	if ga, err := c.Getattr(cr.File); err != nil || ga.Status != nfsproto.ErrStale {
+		t.Fatalf("getattr after remove: %v %v", ga, err)
+	}
+}
+
+func TestRealUDP(t *testing.T) {
+	s, srv := startServer(t)
+	c, err := DialUDP(s.UDPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	exercise(t, c, srv.RootFH(), "udp")
+}
+
+func TestRealTCP(t *testing.T) {
+	s, srv := startServer(t)
+	c, err := DialTCP(s.TCPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	exercise(t, c, srv.RootFH(), "tcp")
+}
+
+func TestMixedTransportsShareState(t *testing.T) {
+	// A file created over UDP is visible over TCP: same server state,
+	// different transports — the §2 independence claim.
+	s, srv := startServer(t)
+	cu, err := DialUDP(s.UDPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cu.Close()
+	ct, err := DialTCP(s.TCPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ct.Close()
+
+	cr, err := cu.Create(srv.RootFH(), "shared", 0644)
+	if err != nil || cr.Status != nfsproto.OK {
+		t.Fatalf("create over udp: %v %v", cr, err)
+	}
+	if _, err := cu.Write(cr.File, 0, []byte("via-udp")); err != nil {
+		t.Fatal(err)
+	}
+	rr, err := ct.Read(cr.File, 0, 100)
+	if err != nil || rr.Status != nfsproto.OK {
+		t.Fatalf("read over tcp: %v %v", rr, err)
+	}
+	if string(rr.Data.Bytes()) != "via-udp" {
+		t.Fatalf("tcp read = %q", rr.Data.Bytes())
+	}
+}
+
+func TestRealMountProtocol(t *testing.T) {
+	s, srv := startServer(t)
+	srv.Export("/pub")
+	c, err := DialUDP(s.UDPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Build /pub, then mount it by path.
+	mk, err := c.Mkdir(srv.RootFH(), "pub", 0755)
+	if err != nil || mk.Status != nfsproto.OK {
+		t.Fatalf("mkdir: %v %v", mk, err)
+	}
+	exports, err := c.Exports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exports) < 2 {
+		t.Fatalf("exports = %+v", exports)
+	}
+	mnt, err := c.Mnt("/pub")
+	if err != nil || mnt.Status != 0 {
+		t.Fatalf("mnt: %+v %v", mnt, err)
+	}
+	if mnt.File != mk.File {
+		t.Fatal("MNT returned a different handle than MKDIR")
+	}
+	// Unexported path refused.
+	bad, err := c.Mnt("/secret")
+	if err != nil || bad.Status == 0 {
+		t.Fatalf("mnt /secret: %+v %v", bad, err)
+	}
+	// The mount works over TCP too, for the same state.
+	ct, err := DialTCP(s.TCPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ct.Close()
+	mnt2, err := ct.Mnt("/pub")
+	if err != nil || mnt2.Status != 0 || mnt2.File != mk.File {
+		t.Fatalf("mnt over tcp: %+v %v", mnt2, err)
+	}
+}
+
+func TestConcurrentRealClients(t *testing.T) {
+	s, srv := startServer(t)
+	root := srv.RootFH()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var c *Client
+			var err error
+			if i%2 == 0 {
+				c, err = DialUDP(s.UDPAddr())
+			} else {
+				c, err = DialTCP(s.TCPAddr())
+			}
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			name := fmt.Sprintf("f-%d", i)
+			cr, err := c.Create(root, name, 0644)
+			if err != nil || cr.Status != nfsproto.OK {
+				errs <- fmt.Errorf("create %s: %v %v", name, cr, err)
+				return
+			}
+			data := bytes.Repeat([]byte{byte(i)}, 4096)
+			if _, err := c.Write(cr.File, 0, data); err != nil {
+				errs <- err
+				return
+			}
+			rr, err := c.Read(cr.File, 0, 4096)
+			if err != nil || rr.Status != nfsproto.OK || !bytes.Equal(rr.Data.Bytes(), data) {
+				errs <- fmt.Errorf("readback %s failed", name)
+				return
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

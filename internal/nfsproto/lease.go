@@ -1,0 +1,208 @@
+package nfsproto
+
+import "renonfs/internal/xdr"
+
+// Protocol extensions beyond RFC 1094, implementing two proposals from the
+// paper's Future Directions section:
+//
+//   - LEASE / VACATED (procedures 18-19): short-duration cache leases in
+//     the style Macklem later shipped as NQNFS — the "mechanism for doing
+//     a delayed write without push on close policy safely" the paper asks
+//     for. Leases are soft state: a crashed server simply waits one lease
+//     period before granting again, preserving the trivial-crash-recovery
+//     property of statelessness.
+//
+//   - READDIRLOOK (procedure 20): "a way of doing many name lookups per
+//     RPC, possibly by adding a readdir_and_lookup_files RPC to the
+//     protocol" — READDIR that also returns each entry's file handle and
+//     attributes (what NFSv3 later called READDIRPLUS).
+//
+// Servers that do not implement the extensions return PROC_UNAVAIL and
+// clients fall back to the standard procedures.
+const (
+	ProcLease       = 18
+	ProcVacated     = 19
+	ProcReaddirLook = 20
+
+	// NumProcsExt is the procedure table size with extensions.
+	NumProcsExt = 21
+)
+
+// ErrTryLater is the extension status telling a client its lease request
+// conflicts with an outstanding lease that is being vacated; retry
+// shortly (NQNFS's NQNFS_TRYLATER).
+const ErrTryLater Status = 101
+
+// Lease modes.
+const (
+	LeaseRead  = 0
+	LeaseWrite = 1
+)
+
+// LeaseArgs requests or renews a cache lease on a file.
+type LeaseArgs struct {
+	File FH
+	Mode uint32
+	// Duration is the requested lease length in seconds.
+	Duration uint32
+	// CallbackPort is where eviction notices reach this client.
+	CallbackPort uint32
+}
+
+// Encode marshals the arguments.
+func (a *LeaseArgs) Encode(e *xdr.Encoder) {
+	putFH(e, a.File)
+	e.PutUint32(a.Mode)
+	e.PutUint32(a.Duration)
+	e.PutUint32(a.CallbackPort)
+}
+
+// DecodeLeaseArgs unmarshals lease arguments.
+func DecodeLeaseArgs(d *xdr.Decoder) (*LeaseArgs, error) {
+	a := &LeaseArgs{}
+	var err error
+	if a.File, err = getFH(d); err != nil {
+		return nil, err
+	}
+	if a.Mode, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if a.Duration, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	a.CallbackPort, err = d.Uint32()
+	return a, err
+}
+
+// LeaseRes is the lease grant (or try-later refusal). On success the
+// server also returns current attributes so the client can validate its
+// cache at grant time.
+type LeaseRes struct {
+	Status   Status
+	Duration uint32 // granted seconds
+	Attr     *Fattr
+}
+
+// Encode marshals the result.
+func (r *LeaseRes) Encode(e *xdr.Encoder) {
+	e.PutUint32(uint32(r.Status))
+	if r.Status == OK {
+		e.PutUint32(r.Duration)
+		r.Attr.Encode(e)
+	}
+}
+
+// DecodeLeaseRes unmarshals the lease result.
+func DecodeLeaseRes(d *xdr.Decoder) (*LeaseRes, error) {
+	s, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	r := &LeaseRes{Status: Status(s)}
+	if r.Status != OK {
+		return r, nil
+	}
+	if r.Duration, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	r.Attr, err = DecodeFattr(d)
+	return r, err
+}
+
+// VacatedArgs tells the server the client has flushed and released the
+// leased file after an eviction notice.
+type VacatedArgs struct{ File FH }
+
+// Encode marshals the arguments.
+func (a *VacatedArgs) Encode(e *xdr.Encoder) { putFH(e, a.File) }
+
+// DecodeVacatedArgs unmarshals vacated arguments.
+func DecodeVacatedArgs(d *xdr.Decoder) (*VacatedArgs, error) {
+	fh, err := getFH(d)
+	return &VacatedArgs{File: fh}, err
+}
+
+// EvictionMagic tags the server's one-way eviction datagram to a client's
+// callback port.
+const EvictionMagic = 0x4e514576 // "NQEv"
+
+// LookEntry is one READDIRLOOK entry: a directory entry plus the handle
+// and attributes a separate LOOKUP would have returned.
+type LookEntry struct {
+	Entry DirEntry
+	File  FH
+	Attr  Fattr
+}
+
+// ReaddirLookRes is the READDIRLOOK result.
+type ReaddirLookRes struct {
+	Status  Status
+	Entries []LookEntry
+	EOF     bool
+}
+
+// Encode marshals the result.
+func (r *ReaddirLookRes) Encode(e *xdr.Encoder) {
+	e.PutUint32(uint32(r.Status))
+	if r.Status != OK {
+		return
+	}
+	for i := range r.Entries {
+		e.PutBool(true)
+		ent := &r.Entries[i]
+		e.PutUint32(ent.Entry.FileID)
+		e.PutString(ent.Entry.Name)
+		e.PutUint32(ent.Entry.Cookie)
+		putFH(e, ent.File)
+		ent.Attr.Encode(e)
+	}
+	e.PutBool(false)
+	e.PutBool(r.EOF)
+}
+
+// DecodeReaddirLookRes unmarshals the READDIRLOOK result.
+func DecodeReaddirLookRes(d *xdr.Decoder) (*ReaddirLookRes, error) {
+	s, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	r := &ReaddirLookRes{Status: Status(s)}
+	if r.Status != OK {
+		return r, nil
+	}
+	for {
+		more, err := d.Bool()
+		if err != nil {
+			return nil, err
+		}
+		if !more {
+			break
+		}
+		var ent LookEntry
+		if ent.Entry.FileID, err = d.Uint32(); err != nil {
+			return nil, err
+		}
+		if ent.Entry.Name, err = getName(d); err != nil {
+			return nil, err
+		}
+		if ent.Entry.Cookie, err = d.Uint32(); err != nil {
+			return nil, err
+		}
+		if ent.File, err = getFH(d); err != nil {
+			return nil, err
+		}
+		attr, err := DecodeFattr(d)
+		if err != nil {
+			return nil, err
+		}
+		ent.Attr = *attr
+		r.Entries = append(r.Entries, ent)
+		if len(r.Entries) > 4096 {
+			return nil, ErrBadProto
+		}
+	}
+	if r.EOF, err = d.Bool(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

@@ -1,0 +1,318 @@
+// Package rpc implements the Sun RPC version 2 message layer (RFC 1057
+// subset) used by NFS: CALL and REPLY headers with AUTH_NULL / AUTH_UNIX
+// credentials, marshalled directly in mbuf chains, plus the record-marking
+// standard used to delimit RPC messages on stream transports such as TCP.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"renonfs/internal/mbuf"
+	"renonfs/internal/xdr"
+)
+
+// Version is the Sun RPC protocol version implemented.
+const Version = 2
+
+// Message types.
+const (
+	MsgCall  = 0
+	MsgReply = 1
+)
+
+// Reply status.
+const (
+	MsgAccepted = 0
+	MsgDenied   = 1
+)
+
+// Accept status for accepted replies.
+const (
+	Success      = 0
+	ProgUnavail  = 1
+	ProgMismatch = 2
+	ProcUnavail  = 3
+	GarbageArgs  = 4
+	SystemErr    = 5
+)
+
+// Auth flavors.
+const (
+	AuthNone = 0
+	AuthUnix = 1
+)
+
+// ErrBadMessage reports a structurally invalid RPC message.
+var ErrBadMessage = errors.New("rpc: bad message")
+
+// Auth is an opaque authenticator.
+type Auth struct {
+	Flavor uint32
+	Body   []byte
+}
+
+// UnixCred is the AUTH_UNIX credential body.
+type UnixCred struct {
+	Stamp   uint32
+	Machine string
+	UID     uint32
+	GID     uint32
+	GIDs    []uint32
+}
+
+// Encode marshals the credential into an Auth.
+func (u *UnixCred) Encode() Auth {
+	c := &mbuf.Chain{}
+	e := xdr.NewEncoder(c)
+	e.PutUint32(u.Stamp)
+	e.PutString(u.Machine)
+	e.PutUint32(u.UID)
+	e.PutUint32(u.GID)
+	e.PutUint32(uint32(len(u.GIDs)))
+	for _, g := range u.GIDs {
+		e.PutUint32(g)
+	}
+	return Auth{Flavor: AuthUnix, Body: c.Bytes()}
+}
+
+// DecodeUnixCred unmarshals an AUTH_UNIX body.
+func DecodeUnixCred(body []byte) (*UnixCred, error) {
+	d := xdr.NewDecoder(mbuf.FromBytes(body))
+	u := &UnixCred{}
+	var err error
+	if u.Stamp, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if u.Machine, err = d.String(); err != nil {
+		return nil, err
+	}
+	if u.UID, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if u.GID, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > 16 {
+		return nil, fmt.Errorf("%w: %d gids", ErrBadMessage, n)
+	}
+	for i := uint32(0); i < n; i++ {
+		g, err := d.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		u.GIDs = append(u.GIDs, g)
+	}
+	return u, nil
+}
+
+func putAuth(e *xdr.Encoder, a Auth) {
+	e.PutUint32(a.Flavor)
+	e.PutOpaque(a.Body)
+}
+
+func getAuth(d *xdr.Decoder) (Auth, error) {
+	var a Auth
+	f, err := d.Uint32()
+	if err != nil {
+		return a, err
+	}
+	body, err := d.Opaque()
+	if err != nil {
+		return a, err
+	}
+	if len(body) > 400 {
+		return a, fmt.Errorf("%w: auth body %d bytes", ErrBadMessage, len(body))
+	}
+	a.Flavor = f
+	a.Body = append([]byte(nil), body...)
+	return a, nil
+}
+
+// Call is a parsed RPC CALL header. The procedure arguments follow it in
+// the same chain.
+type Call struct {
+	XID  uint32
+	Prog uint32
+	Vers uint32
+	Proc uint32
+	Cred Auth
+	Verf Auth
+}
+
+// EncodeCall writes the CALL header onto c; the caller appends the
+// procedure arguments afterwards.
+func EncodeCall(c *mbuf.Chain, call *Call) {
+	e := xdr.NewEncoder(c)
+	e.PutUint32(call.XID)
+	e.PutUint32(MsgCall)
+	e.PutUint32(Version)
+	e.PutUint32(call.Prog)
+	e.PutUint32(call.Vers)
+	e.PutUint32(call.Proc)
+	putAuth(e, call.Cred)
+	putAuth(e, call.Verf)
+}
+
+// DecodeCall parses a CALL header from d, leaving the cursor at the start
+// of the procedure arguments.
+func DecodeCall(d *xdr.Decoder) (*Call, error) {
+	call := &Call{}
+	var err error
+	if call.XID, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	mt, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if mt != MsgCall {
+		return nil, fmt.Errorf("%w: type %d, want CALL", ErrBadMessage, mt)
+	}
+	v, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if v != Version {
+		return nil, fmt.Errorf("%w: rpc version %d", ErrBadMessage, v)
+	}
+	if call.Prog, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if call.Vers, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if call.Proc, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if call.Cred, err = getAuth(d); err != nil {
+		return nil, err
+	}
+	if call.Verf, err = getAuth(d); err != nil {
+		return nil, err
+	}
+	return call, nil
+}
+
+// Reply is a parsed RPC REPLY header. For accepted/success replies the
+// procedure results follow in the chain.
+type Reply struct {
+	XID        uint32
+	Denied     bool
+	AcceptStat uint32
+	Verf       Auth
+}
+
+// EncodeReply writes an accepted REPLY header with the given accept status;
+// the caller appends results for Success.
+func EncodeReply(c *mbuf.Chain, xid, acceptStat uint32) {
+	e := xdr.NewEncoder(c)
+	e.PutUint32(xid)
+	e.PutUint32(MsgReply)
+	e.PutUint32(MsgAccepted)
+	putAuth(e, Auth{}) // verifier
+	e.PutUint32(acceptStat)
+}
+
+// DecodeReply parses a REPLY header, leaving the cursor at the results.
+func DecodeReply(d *xdr.Decoder) (*Reply, error) {
+	r := &Reply{}
+	var err error
+	if r.XID, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	mt, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if mt != MsgReply {
+		return nil, fmt.Errorf("%w: type %d, want REPLY", ErrBadMessage, mt)
+	}
+	stat, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	switch stat {
+	case MsgAccepted:
+		if r.Verf, err = getAuth(d); err != nil {
+			return nil, err
+		}
+		if r.AcceptStat, err = d.Uint32(); err != nil {
+			return nil, err
+		}
+	case MsgDenied:
+		r.Denied = true
+	default:
+		return nil, fmt.Errorf("%w: reply stat %d", ErrBadMessage, stat)
+	}
+	return r, nil
+}
+
+// PeekXID extracts the transaction id from a message chain without
+// disturbing it, used by transports to match replies to requests.
+func PeekXID(c *mbuf.Chain) (uint32, error) {
+	d := xdr.NewDecoder(c.Range(0, min(4, c.Len())))
+	return d.Uint32()
+}
+
+// --- Record marking (RFC 1057 §10) -------------------------------------
+
+// lastFrag is the high bit of a record mark, set on the final fragment.
+const lastFrag = 0x80000000
+
+// MaxRecord bounds a record-marked message; larger records indicate stream
+// desynchronization.
+const MaxRecord = 1 << 20
+
+// AddRecordMark prepends a single-fragment record mark to the message.
+func AddRecordMark(c *mbuf.Chain) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], lastFrag|uint32(c.Len()))
+	c.Prepend(hdr[:])
+}
+
+// RecordScanner incrementally reassembles record-marked messages from a
+// byte stream. Feed it stream data as it arrives; it returns any complete
+// records. It tolerates arbitrary segmentation, including marks split
+// across reads and multi-fragment records.
+type RecordScanner struct {
+	buf []byte // unconsumed stream bytes
+	rec []byte // fragments of the record under assembly
+}
+
+// ErrRecordTooBig reports a record mark exceeding MaxRecord.
+var ErrRecordTooBig = errors.New("rpc: record exceeds maximum size")
+
+// Feed appends stream data and returns the complete records now available.
+func (s *RecordScanner) Feed(p []byte) ([][]byte, error) {
+	s.buf = append(s.buf, p...)
+	var out [][]byte
+	for {
+		if len(s.buf) < 4 {
+			return out, nil
+		}
+		mark := binary.BigEndian.Uint32(s.buf[:4])
+		n := int(mark &^ lastFrag)
+		if n > MaxRecord {
+			return out, ErrRecordTooBig
+		}
+		if len(s.buf) < 4+n {
+			return out, nil
+		}
+		frag := s.buf[4 : 4+n]
+		s.buf = append([]byte(nil), s.buf[4+n:]...)
+		s.rec = append(s.rec, frag...)
+		if mark&lastFrag != 0 {
+			out = append(out, s.rec)
+			s.rec = nil
+		}
+	}
+}
+
+// Buffered returns the number of unconsumed stream bytes held.
+func (s *RecordScanner) Buffered() int { return len(s.buf) + len(s.rec) }

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"renonfs/internal/mbuf"
+	"renonfs/internal/memfs"
+	"renonfs/internal/netsim"
+	"renonfs/internal/nfsproto"
+	"renonfs/internal/rpc"
+	"renonfs/internal/sim"
+	"renonfs/internal/transport"
+	"renonfs/internal/xdr"
+)
+
+// TestStatelessRecovery demonstrates §1's claim: because the server is
+// stateless, a reboot needs no recovery protocol — a retransmitted
+// idempotent request simply succeeds against the recovered server.
+func TestStatelessRecovery(t *testing.T) {
+	s := newServer()
+	fh := mustCreate(t, s, s.RootFH(), "survivor")
+	call(t, s, nfsproto.ProcWrite, func(e *xdr.Encoder) {
+		(&nfsproto.WriteArgs{File: fh, Offset: 0, Data: mbuf.FromBytes([]byte("durable data"))}).Encode(e)
+	})
+	s.Crash()
+	// The old file handle still resolves (fsid/inode/generation on disk)
+	// and the data is there: nothing was lost but caches.
+	_, d := call(t, s, nfsproto.ProcRead, func(e *xdr.Encoder) {
+		(&nfsproto.ReadArgs{File: fh, Offset: 0, Count: 100}).Encode(e)
+	})
+	res, err := nfsproto.DecodeReadRes(d)
+	if err != nil || res.Status != nfsproto.OK {
+		t.Fatalf("read after crash: %v %v", res, err)
+	}
+	if string(res.Data.Bytes()) != "durable data" {
+		t.Fatalf("data after crash = %q", res.Data.Bytes())
+	}
+}
+
+// TestNonIdempotentReplayAfterCrash demonstrates the conclusions' warning:
+// "the at least once semantics of these RPCs can result in faulty
+// behaviour" — the duplicate request cache protects against replays, but
+// it is volatile, so a retransmission that straddles a reboot re-executes
+// the operation.
+func TestNonIdempotentReplayAfterCrash(t *testing.T) {
+	s := newServer()
+	mustCreate(t, s, s.RootFH(), "victim")
+	rmArgs := func(e *xdr.Encoder) {
+		(&nfsproto.DiropArgs{Dir: s.RootFH(), Name: "victim"}).Encode(e)
+	}
+	// First transmission: REMOVE succeeds (reply lost, say).
+	_, d := callPeer(t, s, "client-a", 4242, nfsproto.ProcRemove, rmArgs)
+	res, _ := nfsproto.DecodeStatusRes(d)
+	if res.Status != nfsproto.OK {
+		t.Fatalf("remove: %v", res.Status)
+	}
+	// Retransmission before any crash: absorbed by the duplicate cache.
+	_, d = callPeer(t, s, "client-a", 4242, nfsproto.ProcRemove, rmArgs)
+	res, _ = nfsproto.DecodeStatusRes(d)
+	if res.Status != nfsproto.OK {
+		t.Fatalf("replay absorbed wrongly: %v", res.Status)
+	}
+	// Crash loses the duplicate cache; the same retransmission now
+	// re-executes and the client sees a spurious failure.
+	s.Crash()
+	_, d = callPeer(t, s, "client-a", 4242, nfsproto.ProcRemove, rmArgs)
+	res, _ = nfsproto.DecodeStatusRes(d)
+	if res.Status != nfsproto.ErrNoEnt {
+		t.Fatalf("replay across crash = %v, want NFSERR_NOENT (the §1 wart)", res.Status)
+	}
+}
+
+// TestLeaseGrantRefusedAfterCrash: NQNFS recovery — the rebooted server
+// must not grant leases until every pre-crash lease has expired.
+func TestLeaseGrantRefusedAfterCrash(t *testing.T) {
+	env := sim.New(1)
+	defer env.Close()
+	nt := netsim.New(env)
+	node := nt.AddNode(netsim.NodeConfig{Name: "srv"})
+	_ = nt.AddNode(netsim.NodeConfig{Name: "cl"})
+	fs := memfs.New(1, nil, nil)
+	opts := Reno()
+	opts.Leases = true
+	opts.LeaseDuration = 10 * time.Second
+	s := New(fs, opts)
+	s.AttachNode(node)
+	f, _ := fs.Create(nil, fs.Root(), "f", 0644)
+	fh := fs.FH(f)
+
+	var leaseXID uint32 = 10000
+	leaseStatus := func(p *sim.Proc) nfsproto.Status {
+		leaseXID++
+		req := &mbuf.Chain{}
+		rpc.EncodeCall(req, &rpc.Call{XID: leaseXID, Prog: nfsproto.Program, Vers: nfsproto.Version, Proc: nfsproto.ProcLease})
+		(&nfsproto.LeaseArgs{File: fh, Mode: nfsproto.LeaseWrite, Duration: 10, CallbackPort: 9999}).Encode(xdr.NewEncoder(req))
+		rep := s.HandleCall(p, "udp:1:9999", req)
+		d := xdr.NewDecoder(rep)
+		if _, err := rpc.DecodeReply(d); err != nil {
+			t.Errorf("decode reply: %v", err)
+			return nfsproto.ErrIO
+		}
+		res, err := nfsproto.DecodeLeaseRes(d)
+		if err != nil {
+			t.Errorf("decode lease: %v", err)
+			return nfsproto.ErrIO
+		}
+		return res.Status
+	}
+	env.Spawn("test", func(p *sim.Proc) {
+		if st := leaseStatus(p); st != nfsproto.OK {
+			t.Errorf("pre-crash grant = %v", st)
+		}
+		s.Crash()
+		if st := leaseStatus(p); st != nfsproto.ErrTryLater {
+			t.Errorf("grant right after crash = %v, want NFSERR_TRYLATER", st)
+		}
+		p.Sleep(11 * time.Second) // one lease period
+		if st := leaseStatus(p); st != nfsproto.OK {
+			t.Errorf("grant after recovery window = %v, want OK", st)
+		}
+	})
+	env.RunAll()
+}
+
+// TestHardMountSurvivesOutage drives a live client through a mid-workload
+// server outage: the transport retransmits until the server returns.
+func TestHardMountSurvivesOutage(t *testing.T) {
+	env := sim.New(2)
+	defer env.Close()
+	tb := netsim.Build(env, netsim.TopoLAN, netsim.NodeConfig{}, netsim.NodeConfig{})
+	fs := memfs.New(1, nil, nil)
+	s := New(fs, Reno())
+	s.AttachNode(tb.Server)
+	s.ServeUDP(NFSPort)
+	fs.Create(nil, fs.Root(), "f", 0644)
+
+	// Crash window: down from t=2s to t=10s.
+	env.After(2*time.Second, func() { s.SetDown(true) })
+	env.After(10*time.Second, func() { s.SetDown(false); s.Crash() })
+
+	okCalls := 0
+	env.Spawn("client", func(p *sim.Proc) {
+		cfg := transport.FixedUDP()
+		cfg.Retrans = 100 // hard mount: retry forever
+		tr := transport.NewUDP(tb.Client, 3001, tb.Server.ID, NFSPort, cfg)
+		root := s.RootFH()
+		for i := 0; i < 20; i++ {
+			d, err := tr.Call(p, nfsproto.ProcLookup, func(e *xdr.Encoder) {
+				(&nfsproto.DiropArgs{Dir: root, Name: "f"}).Encode(e)
+			})
+			if err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+			if res, _ := nfsproto.DecodeDiropRes(d); res != nil && res.Status == nfsproto.OK {
+				okCalls++
+			}
+			p.Sleep(time.Second)
+		}
+	})
+	env.Run(10 * time.Minute)
+	if okCalls != 20 {
+		t.Fatalf("okCalls = %d, want 20 (hard mount rides out the outage)", okCalls)
+	}
+}

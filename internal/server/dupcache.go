@@ -1,0 +1,59 @@
+package server
+
+import (
+	"container/list"
+
+	"renonfs/internal/mbuf"
+)
+
+// dupCache is the duplicate request cache of [Juszczak89]: recent replies
+// to non-idempotent calls, keyed by caller and transaction id, so that a
+// retransmitted REMOVE or CREATE is answered from cache instead of being
+// re-executed (the "at least once" hazard the conclusions call out).
+type dupCache struct {
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = newest; values are *dupEntry
+}
+
+type dupEntry struct {
+	key   string
+	reply *mbuf.Chain
+}
+
+func newDupCache(capacity int) *dupCache {
+	return &dupCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// get returns the cached reply for key, or nil.
+func (c *dupCache) get(key string) *mbuf.Chain {
+	e := c.entries[key]
+	if e == nil {
+		return nil
+	}
+	c.order.MoveToFront(e)
+	return e.Value.(*dupEntry).reply
+}
+
+// put stores a reply, evicting the oldest entry beyond capacity.
+func (c *dupCache) put(key string, reply *mbuf.Chain) {
+	if e := c.entries[key]; e != nil {
+		e.Value.(*dupEntry).reply = reply
+		c.order.MoveToFront(e)
+		return
+	}
+	if c.order.Len() >= c.cap {
+		back := c.order.Back()
+		old := back.Value.(*dupEntry)
+		c.order.Remove(back)
+		delete(c.entries, old.key)
+	}
+	c.entries[key] = c.order.PushFront(&dupEntry{key: key, reply: reply})
+}
+
+// len returns the number of cached replies.
+func (c *dupCache) len() int { return c.order.Len() }

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"fmt"
+
+	"renonfs/internal/mbuf"
+	"renonfs/internal/rpc"
+	"renonfs/internal/sim"
+	"renonfs/internal/tcpsim"
+)
+
+// NFSPort is the conventional NFS port.
+const NFSPort = 2049
+
+// job is one request handed to the nfsd pool.
+type job struct {
+	peer  string
+	req   *mbuf.Chain
+	reply func(p *sim.Proc, rep *mbuf.Chain)
+}
+
+// ServeUDP starts the UDP frontend on the attached node: a receiver
+// process feeding a pool of nfsd daemons, the way rpc.nfsd worked.
+func (s *Server) ServeUDP(port int) {
+	if s.Node == nil {
+		panic("server: ServeUDP without AttachNode")
+	}
+	env := s.Node.Net().Env
+	sock := s.Node.UDPSocket(port)
+	s.EnableLeaseCallbacks(sock)
+	jobs := sim.NewQueue[job](env, s.Opts.Name+".nfsd-q")
+	env.Spawn(s.Opts.Name+".udp-rx", func(p *sim.Proc) {
+		for {
+			dg, ok := sock.Recv(p)
+			if !ok {
+				return
+			}
+			src, sport := dg.Src, dg.SrcPort
+			jobs.Send(job{
+				peer: fmt.Sprintf("udp:%d:%d", src, sport),
+				req:  dg.Payload,
+				reply: func(p *sim.Proc, rep *mbuf.Chain) {
+					sock.Send(p, src, sport, rep)
+				},
+			})
+		}
+	})
+	s.spawnNFSDs(env, jobs, "udp")
+}
+
+// ServeTCP starts the TCP frontend: an acceptor spawning one process per
+// connection that reassembles record-marked requests and feeds the shared
+// nfsd pool; replies are record-marked back onto the connection (the
+// concurrency control §2 mentions is free here, one process runs at a
+// time).
+func (s *Server) ServeTCP(stack *tcpsim.Stack, port int) {
+	if s.Node == nil {
+		panic("server: ServeTCP without AttachNode")
+	}
+	env := s.Node.Net().Env
+	l := stack.Listen(port)
+	jobs := sim.NewQueue[job](env, s.Opts.Name+".nfsd-tcp-q")
+	s.spawnNFSDs(env, jobs, "tcp")
+	env.Spawn(s.Opts.Name+".tcp-accept", func(p *sim.Proc) {
+		for connID := 0; ; connID++ {
+			conn, ok := l.Accept(p)
+			if !ok {
+				return
+			}
+			peer := fmt.Sprintf("tcp:%d", connID)
+			env.Spawn(s.Opts.Name+".tcp-conn", func(p *sim.Proc) {
+				var scan rpc.RecordScanner
+				for {
+					b, ok := conn.Recv(p)
+					if !ok {
+						conn.Close()
+						return
+					}
+					recs, err := scan.Feed(b)
+					if err != nil {
+						conn.Abort()
+						return
+					}
+					for _, rec := range recs {
+						req := mbuf.FromBytes(rec)
+						jobs.Send(job{
+							peer: peer,
+							req:  req,
+							reply: func(p *sim.Proc, rep *mbuf.Chain) {
+								rpc.AddRecordMark(rep)
+								conn.Send(p, rep)
+							},
+						})
+					}
+				}
+			})
+		}
+	})
+}
+
+// spawnNFSDs starts the server daemon pool.
+func (s *Server) spawnNFSDs(env *sim.Env, jobs *sim.Queue[job], tag string) {
+	for i := 0; i < s.Opts.NFSDs; i++ {
+		env.Spawn(fmt.Sprintf("%s.nfsd-%s%d", s.Opts.Name, tag, i), func(p *sim.Proc) {
+			for {
+				j, ok := jobs.Recv(p)
+				if !ok {
+					return
+				}
+				if s.down {
+					continue // crashed: the request vanishes
+				}
+				rep := s.HandleCall(p, j.peer, j.req)
+				if rep != nil {
+					j.reply(p, rep)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"renonfs/internal/mbuf"
+	"renonfs/internal/memfs"
+	"renonfs/internal/netsim"
+	"renonfs/internal/nfsproto"
+	"renonfs/internal/sim"
+	"renonfs/internal/transport"
+	"renonfs/internal/xdr"
+)
+
+// TestWriteGatheringSavesDiskOps: a biod-style burst of sequential writes
+// pays the metadata disk writes once per gather window instead of once per
+// RPC ([Juszczak89]).
+func TestWriteGatheringSavesDiskOps(t *testing.T) {
+	run := func(gather bool) (diskOps int, elapsed sim.Time) {
+		env := sim.New(5)
+		defer env.Close()
+		tb := netsim.Build(env, netsim.TopoLAN, netsim.NodeConfig{}, netsim.NodeConfig{})
+		disk := memfs.NewRD53(env, "rd53")
+		fs := memfs.New(1, disk, nil)
+		opts := Reno()
+		opts.WriteGathering = gather
+		s := New(fs, opts)
+		s.AttachNode(tb.Server)
+		s.ServeUDP(NFSPort)
+		done := false
+		env.Spawn("writer", func(p *sim.Proc) {
+			tr := transport.NewUDP(tb.Client, 3001, tb.Server.ID, NFSPort, transport.DynamicUDP())
+			attr := nfsproto.NewSattr()
+			attr.Mode = 0644
+			d, err := tr.Call(p, nfsproto.ProcCreate, func(e *xdr.Encoder) {
+				(&nfsproto.CreateArgs{Where: nfsproto.DiropArgs{Dir: s.RootFH(), Name: "f"}, Attr: attr}).Encode(e)
+			})
+			if err != nil {
+				return
+			}
+			res, _ := nfsproto.DecodeDiropRes(d)
+			base := disk.WriteOps
+			start := p.Now()
+			// 12 x 8K writes from 4 concurrent "biods": they queue up at
+			// the nfsds back to back, which is the pattern gathering wins
+			// on.
+			finished := sim.NewEvent(env)
+			left := 4
+			for b := 0; b < 4; b++ {
+				b := b
+				env.Spawn("biod", func(bp *sim.Proc) {
+					for i := 0; i < 3; i++ {
+						off := uint32((b*3 + i) * 8192)
+						tr.Call(bp, nfsproto.ProcWrite, func(e *xdr.Encoder) {
+							(&nfsproto.WriteArgs{File: res.File, Offset: off,
+								Data: mbuf.FromBytes(make([]byte, 8192))}).Encode(e)
+						})
+					}
+					left--
+					if left == 0 {
+						finished.Set()
+					}
+				})
+			}
+			finished.Wait(p)
+			diskOps = disk.WriteOps - base
+			elapsed = p.Now() - start
+			done = true
+		})
+		env.Run(10 * time.Minute)
+		if !done {
+			t.Fatal("writer did not finish")
+		}
+		return diskOps, elapsed
+	}
+	opsOff, elOff := run(false)
+	opsOn, elOn := run(true)
+	// 12 x (data + inode), plus possibly a duplicate from a UDP
+	// retransmission (idempotent, so the server re-executes it).
+	if opsOff < 24 || opsOff > 28 {
+		t.Fatalf("ungathered disk ops = %d, want ~24", opsOff)
+	}
+	if opsOn > opsOff-6 {
+		t.Fatalf("gathering saved too little: %d vs %d ops", opsOn, opsOff)
+	}
+	if elOn >= elOff {
+		t.Fatalf("gathering did not speed the burst: %v vs %v", elOn, elOff)
+	}
+}

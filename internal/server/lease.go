@@ -1,0 +1,325 @@
+package server
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"renonfs/internal/mbuf"
+	"renonfs/internal/netsim"
+	"renonfs/internal/nfsproto"
+	"renonfs/internal/sim"
+	"renonfs/internal/xdr"
+)
+
+// NQNFS-style cache leases (the paper's Future Directions: "a mechanism
+// for doing a delayed write without push on close policy safely").
+//
+// A lease is short-lived soft state: the server grants a read lease to any
+// number of clients or a write lease to one, for at most LeaseDuration.
+// While a client holds a write lease its delayed writes need no
+// push-on-close — nobody else may cache the file. A conflicting request
+// triggers an eviction notice to the holders and a TRYLATER refusal; the
+// holders flush, answer VACATED, and the requester's retry succeeds. If a
+// holder has crashed, the lease simply expires. A crashed server waits one
+// lease period before answering, and statelessness — the property §1
+// prizes for trivial crash recovery — is preserved in spirit: no lease
+// outlives LeaseDuration.
+
+// DefaultLeaseDuration is the granted lease length when unspecified.
+const DefaultLeaseDuration = 30 * time.Second
+
+// leaseState tracks one file's lease.
+type leaseState struct {
+	mode     uint32
+	holders  map[string]holderAddr // peer id -> callback address
+	expiry   sim.Time
+	vacating bool
+}
+
+type holderAddr struct {
+	node netsim.NodeID
+	port int
+}
+
+// leases lazily allocates the lease table.
+func (s *Server) leaseTable() map[nfsproto.FH]*leaseState {
+	if s.leaseTab == nil {
+		s.leaseTab = make(map[nfsproto.FH]*leaseState)
+	}
+	return s.leaseTab
+}
+
+func (s *Server) leaseDuration() sim.Time {
+	if s.Opts.LeaseDuration > 0 {
+		return s.Opts.LeaseDuration
+	}
+	return DefaultLeaseDuration
+}
+
+// extensionEnabled reports whether the extension procedure is served.
+func (s *Server) extensionEnabled(proc uint32) bool {
+	switch proc {
+	case nfsproto.ProcLease, nfsproto.ProcVacated:
+		return s.Opts.Leases
+	case nfsproto.ProcReaddirLook:
+		return s.Opts.ReaddirLook
+	default:
+		return false
+	}
+}
+
+// parsePeerNode recovers the caller's node id from the frontend peer tag
+// ("udp:<node>:<port>"). Leases need a callback path, so they are only
+// granted to UDP peers.
+func parsePeerNode(peer string) (netsim.NodeID, bool) {
+	parts := strings.Split(peer, ":")
+	if len(parts) != 3 || parts[0] != "udp" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, false
+	}
+	return netsim.NodeID(n), true
+}
+
+// sendEviction fires the one-way eviction notice at a holder's callback
+// port.
+func (s *Server) sendEviction(p *sim.Proc, to holderAddr, fh nfsproto.FH) {
+	if s.cbSock == nil || p == nil {
+		return
+	}
+	c := &mbuf.Chain{}
+	e := xdr.NewEncoder(c)
+	e.PutUint32(nfsproto.EvictionMagic)
+	e.PutFixedOpaque(fh[:])
+	s.cbSock.Send(p, to.node, to.port, c)
+	s.Stats.Evictions++
+}
+
+// evictHolders notifies every current holder and marks the lease as being
+// vacated.
+func (s *Server) evictHolders(p *sim.Proc, fh nfsproto.FH, st *leaseState, except string) {
+	if st.vacating {
+		return
+	}
+	st.vacating = true
+	peers := make([]string, 0, len(st.holders))
+	for peer := range st.holders {
+		peers = append(peers, peer)
+	}
+	sort.Strings(peers)
+	for _, peer := range peers {
+		if peer == except {
+			continue
+		}
+		s.sendEviction(p, st.holders[peer], fh)
+	}
+}
+
+// leaseConflict checks a data operation against the lease table; if the
+// caller is not entitled, holders are evicted and the op must answer
+// TRYLATER. Called from read/write/setattr when leases are enabled.
+func (s *Server) leaseConflict(p *sim.Proc, fh nfsproto.FH, write bool, peer string) bool {
+	if !s.Opts.Leases {
+		return false
+	}
+	st := s.leaseTable()[fh]
+	if st == nil {
+		return false
+	}
+	now := s.now()
+	if now >= st.expiry {
+		delete(s.leaseTab, fh)
+		return false
+	}
+	if _, holder := st.holders[peer]; holder {
+		if !write || st.mode == nfsproto.LeaseWrite {
+			return false
+		}
+	}
+	if !write && st.mode == nfsproto.LeaseRead {
+		return false // reads coexist with read leases
+	}
+	s.evictHolders(p, fh, st, peer)
+	return true
+}
+
+func (s *Server) now() sim.Time {
+	if s.Node == nil {
+		return 0
+	}
+	return s.Node.Net().Env.Now()
+}
+
+// leaseCall serves the LEASE procedure: grant, share, renew or refuse.
+func (s *Server) leaseCall(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder) error {
+	args, err := nfsproto.DecodeLeaseArgs(d)
+	if err != nil {
+		return err
+	}
+	s.charge(p, "nfs", costVOP)
+	n, rerr := s.FS.Resolve(args.File)
+	if rerr != nil {
+		(&nfsproto.LeaseRes{Status: errStatus(rerr)}).Encode(e)
+		return nil
+	}
+	node, ok := parsePeerNode(peer)
+	if !ok {
+		(&nfsproto.LeaseRes{Status: nfsproto.ErrAcces}).Encode(e)
+		return nil
+	}
+	addr := holderAddr{node: node, port: int(args.CallbackPort)}
+	now := s.now()
+	dur := s.leaseDuration()
+	if req := time.Duration(args.Duration) * time.Second; req > 0 && req < dur {
+		dur = req
+	}
+	// NQNFS crash recovery: no grants until pre-crash leases have expired.
+	if now < s.noGrantsUntil {
+		(&nfsproto.LeaseRes{Status: nfsproto.ErrTryLater}).Encode(e)
+		return nil
+	}
+	tab := s.leaseTable()
+	st := tab[args.File]
+	if st != nil && now >= st.expiry {
+		delete(tab, args.File)
+		st = nil
+	}
+	grant := func() {
+		attr := s.FS.Attr(n)
+		(&nfsproto.LeaseRes{
+			Status:   nfsproto.OK,
+			Duration: uint32(dur / time.Second),
+			Attr:     &attr,
+		}).Encode(e)
+	}
+	var isHolder bool
+	if st != nil {
+		_, isHolder = st.holders[peer]
+	}
+	switch {
+	case st == nil:
+		tab[args.File] = &leaseState{
+			mode:    args.Mode,
+			holders: map[string]holderAddr{peer: addr},
+			expiry:  now + dur,
+		}
+		grant()
+	case isHolder && (st.mode == args.Mode || st.mode == nfsproto.LeaseWrite):
+		// Renewal (a write lease also covers the holder's reads).
+		st.expiry = now + dur
+		st.vacating = false
+		grant()
+	case isHolder && len(st.holders) == 1 && args.Mode == nfsproto.LeaseWrite:
+		// Sole holder upgrading a read lease to write.
+		st.mode = nfsproto.LeaseWrite
+		st.expiry = now + dur
+		st.vacating = false
+		grant()
+	case st.mode == nfsproto.LeaseRead && args.Mode == nfsproto.LeaseRead:
+		// Read leases are shared.
+		st.holders[peer] = addr
+		if exp := now + dur; exp > st.expiry {
+			st.expiry = exp
+		}
+		grant()
+	default:
+		// Conflict: evict and tell the requester to come back.
+		s.evictHolders(p, args.File, st, "")
+		(&nfsproto.LeaseRes{Status: nfsproto.ErrTryLater}).Encode(e)
+	}
+	return nil
+}
+
+// vacatedCall serves the VACATED procedure: a holder has flushed and
+// released after an eviction notice.
+func (s *Server) vacatedCall(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder) error {
+	args, err := nfsproto.DecodeVacatedArgs(d)
+	if err != nil {
+		return err
+	}
+	s.charge(p, "nfs", costVOP)
+	if st := s.leaseTable()[args.File]; st != nil {
+		delete(st.holders, peer)
+		if len(st.holders) == 0 {
+			delete(s.leaseTab, args.File)
+		}
+	}
+	(&nfsproto.StatusRes{Status: nfsproto.OK}).Encode(e)
+	return nil
+}
+
+// readdirLook serves the readdir_and_lookup_files extension: READDIR
+// entries carrying each file's handle and attributes, so a directory
+// listing plus per-file stat costs one RPC instead of dozens (Future
+// Directions' proposal; NFSv3 later standardized it as READDIRPLUS).
+func (s *Server) readdirLook(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
+	args, err := nfsproto.DecodeReaddirArgs(d)
+	if err != nil {
+		return err
+	}
+	s.charge(p, "nfs", costVOP)
+	dir, rerr := s.FS.Resolve(args.Dir)
+	if rerr != nil {
+		(&nfsproto.ReaddirLookRes{Status: errStatus(rerr)}).Encode(e)
+		return nil
+	}
+	if dir.Type != nfsproto.TypeDir {
+		(&nfsproto.ReaddirLookRes{Status: nfsproto.ErrNotDir}).Encode(e)
+		return nil
+	}
+	s.scanDirectory(p, dir)
+	ents := s.FS.DirEntries(dir)
+	res := &nfsproto.ReaddirLookRes{Status: nfsproto.OK}
+	budget := int(args.Count)
+	if budget <= 0 || budget > nfsproto.MaxData {
+		budget = nfsproto.MaxData
+	}
+	used := 16
+	for i := int(args.Cookie); i < len(ents); i++ {
+		de := ents[i]
+		n, err := s.FS.Lookup(dir, de.Name)
+		if err != nil {
+			continue
+		}
+		// Each embedded lookup still costs attribute work, but no
+		// per-entry RPC round trip.
+		s.charge(p, "nfs", costVOP/4)
+		sz := 16 + len(de.Name) + nfsproto.FHSize + 68
+		if used+sz > budget {
+			res.EOF = false
+			res.Encode(e)
+			return nil
+		}
+		res.Entries = append(res.Entries, nfsproto.LookEntry{
+			Entry: nfsproto.DirEntry{FileID: de.Ino, Name: de.Name, Cookie: uint32(i + 1)},
+			File:  s.FS.FH(n),
+			Attr:  s.FS.Attr(n),
+		})
+		used += sz
+	}
+	res.EOF = true
+	res.Encode(e)
+	return nil
+}
+
+// EnableLeaseCallbacks points the server at a UDP socket for eviction
+// notices; ServeUDP wires this automatically.
+func (s *Server) EnableLeaseCallbacks(sock *netsim.UDPSocket) { s.cbSock = sock }
+
+// Leases returns the number of active leases (tests and monitoring).
+func (s *Server) Leases() int {
+	n := 0
+	now := s.now()
+	for fh, st := range s.leaseTable() {
+		if now < st.expiry {
+			n++
+		} else {
+			delete(s.leaseTab, fh)
+		}
+	}
+	return n
+}

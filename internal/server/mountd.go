@@ -1,0 +1,138 @@
+package server
+
+import (
+	"sort"
+	"strings"
+
+	"renonfs/internal/memfs"
+	"renonfs/internal/nfsproto"
+	"renonfs/internal/sim"
+	"renonfs/internal/xdr"
+)
+
+// The MOUNT protocol server (mountd). Real deployments ran it as a
+// separate daemon; here it shares the server's dispatch loop — the same
+// frontends serve both RPC programs, and HandleCall routes by program
+// number.
+
+// Unix errno values the mount protocol uses.
+const (
+	mntOK      = 0
+	mntENOENT  = 2
+	mntEACCES  = 13
+	mntENOTDIR = 20
+)
+
+// mountState tracks exports and active mounts (soft state, like rmtab).
+type mountState struct {
+	// exports maps export path -> restriction groups (empty = everyone).
+	exports map[string][]string
+	// mounts maps "host dir" -> entry, for DUMP.
+	mounts map[string]nfsproto.MountEntry
+}
+
+func (s *Server) mountState() *mountState {
+	if s.mounts == nil {
+		s.mounts = &mountState{
+			exports: map[string][]string{"/": nil},
+			mounts:  make(map[string]nfsproto.MountEntry),
+		}
+	}
+	return s.mounts
+}
+
+// Export adds path to the export list (the root "/" is exported by
+// default). Groups restrict which peers may mount; empty allows everyone.
+func (s *Server) Export(path string, groups ...string) {
+	s.mountState().exports[path] = groups
+}
+
+// MountsFor returns the active mount entries (DUMP's view).
+func (s *Server) MountsFor() []nfsproto.MountEntry {
+	st := s.mountState()
+	out := make([]nfsproto.MountEntry, 0, len(st.mounts))
+	for _, e := range st.mounts {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Host != out[j].Host {
+			return out[i].Host < out[j].Host
+		}
+		return out[i].Dir < out[j].Dir
+	})
+	return out
+}
+
+// lookupExportPath walks an exported path through the filesystem.
+func (s *Server) lookupExportPath(path string) (*memfs.Inode, uint32) {
+	st := s.mountState()
+	if _, exported := st.exports[path]; !exported {
+		return nil, mntEACCES
+	}
+	n := s.FS.Root()
+	for _, comp := range strings.Split(path, "/") {
+		if comp == "" {
+			continue
+		}
+		child, err := s.FS.Lookup(n, comp)
+		if err != nil {
+			return nil, mntENOENT
+		}
+		n = child
+	}
+	if n.Type != nfsproto.TypeDir {
+		return nil, mntENOTDIR
+	}
+	return n, mntOK
+}
+
+// dispatchMount serves one MOUNT-program procedure.
+func (s *Server) dispatchMount(p *sim.Proc, proc uint32, peer string, d *xdr.Decoder, e *xdr.Encoder) error {
+	s.charge(p, "nfs", costDispatch)
+	st := s.mountState()
+	switch proc {
+	case nfsproto.MountProcNull:
+		return nil
+	case nfsproto.MountProcMnt:
+		args, err := nfsproto.DecodeMntArgs(d)
+		if err != nil {
+			return err
+		}
+		n, status := s.lookupExportPath(args.DirPath)
+		if status != mntOK {
+			(&nfsproto.MntRes{Status: status}).Encode(e)
+			return nil
+		}
+		st.mounts[peer+" "+args.DirPath] = nfsproto.MountEntry{Host: peer, Dir: args.DirPath}
+		(&nfsproto.MntRes{Status: mntOK, File: s.FS.FH(n)}).Encode(e)
+		return nil
+	case nfsproto.MountProcDump:
+		nfsproto.EncodeMountList(e, s.MountsFor())
+		return nil
+	case nfsproto.MountProcUmnt:
+		args, err := nfsproto.DecodeMntArgs(d)
+		if err != nil {
+			return err
+		}
+		delete(st.mounts, peer+" "+args.DirPath)
+		return nil
+	case nfsproto.MountProcUmntAll:
+		for k, ent := range st.mounts {
+			if ent.Host == peer {
+				delete(st.mounts, k)
+			}
+		}
+		return nil
+	case nfsproto.MountProcExport:
+		var list []nfsproto.ExportEntry
+		for dir, groups := range st.exports {
+			list = append(list, nfsproto.ExportEntry{Dir: dir, Groups: groups})
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].Dir < list[j].Dir })
+		nfsproto.EncodeExportList(e, list)
+		return nil
+	default:
+		(&nfsproto.StatusRes{Status: nfsproto.ErrIO}).Encode(e)
+		return nil
+	}
+}

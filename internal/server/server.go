@@ -1,0 +1,854 @@
+// Package server implements the NFS v2 server over memfs, with the two
+// personalities §5 compares:
+//
+//   - Reno: a VFS name-lookup cache in front of directory scans, directory
+//     blocks chained off vnodes (cheap buffer-cache searches), and RPC
+//     arguments/results handled directly in mbufs.
+//   - Ultrix (Sun-reference-port style): no name cache, linear buffer-cache
+//     scans, and a user-library XDR layer that costs an extra copy per call.
+//
+// Every call charges the server node's CPU through the netsim cost model
+// under profile buckets (nfs, buf_copy, dirscan, xdr_layer, ...), the disk
+// pays the synchronous writes NFS v2 statelessness demands, and a
+// duplicate-request cache ([Juszczak89]) suppresses re-execution of
+// retransmitted non-idempotent calls.
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"renonfs/internal/mbuf"
+	"renonfs/internal/memfs"
+	"renonfs/internal/netsim"
+	"renonfs/internal/nfsproto"
+	"renonfs/internal/rpc"
+	"renonfs/internal/sim"
+	"renonfs/internal/vfs"
+	"renonfs/internal/xdr"
+)
+
+// Server CPU cost table, µs at 1 MIPS (see DESIGN.md §4).
+const (
+	costDispatch     = 600.0  // RPC decode + dispatch + reply header
+	costVOP          = 180.0  // filesystem operation base cost
+	costBufCopyByte  = 1.0    // buffer cache <-> mbuf copy, per byte
+	costDirScanBuf   = 35.0   // per buffer examined in a directory search
+	costNameCacheHit = 60.0   // name cache probe
+	costXDRCall      = 1400.0 // Ultrix user-library RPC/XDR layer, per call
+	costXDRByte      = 0.5    // Ultrix XDR layer, per argument/result byte
+)
+
+// Options selects a server personality and sizes.
+type Options struct {
+	Name string
+	// NameCache enables the server-side name lookup cache.
+	NameCache bool
+	// ChainedBufs selects vnode-chained buffer-cache lookups; false means
+	// linear scans of the whole cache.
+	ChainedBufs bool
+	// XDRCopyLayer charges the reference port's user-library XDR costs.
+	XDRCopyLayer bool
+	// LendPages is the §3 "further work" optimization: buffer-cache pages
+	// are lent to the network code as mbuf clusters, skipping the
+	// buffer-cache-to-mbuf copy on reads.
+	LendPages bool
+	// CacheBufs is the buffer cache capacity (block buffers).
+	CacheBufs int
+	// DupCacheSize bounds the duplicate request cache.
+	DupCacheSize int
+	// NFSDs is the number of server daemons for the simulated frontends.
+	NFSDs int
+	// Leases enables the NQNFS-style cache lease extension (procedures
+	// LEASE/VACATED) from the paper's Future Directions.
+	Leases bool
+	// ReaddirLook enables the readdir_and_lookup_files extension.
+	ReaddirLook bool
+	// LeaseDuration bounds granted leases (default 30s).
+	LeaseDuration time.Duration
+	// WriteGathering batches the metadata (inode/indirect) disk writes of
+	// back-to-back WRITE RPCs to the same file, the [Juszczak89] nfsd
+	// optimization the paper cites: the data still goes to disk before the
+	// reply, but a burst from the client's biods pays the inode update
+	// once per gather window instead of once per RPC.
+	WriteGathering bool
+}
+
+// Reno returns the tuned 4.3BSD Reno server personality.
+func Reno() Options {
+	return Options{
+		Name: "reno", NameCache: true, ChainedBufs: true,
+		CacheBufs: 192, DupCacheSize: 64, NFSDs: 4,
+	}
+}
+
+// Ultrix returns the Sun-reference-port (Ultrix 2.2) personality. The
+// buffer cache is configured identically, per the appendix ("identically
+// sized buffer caches"); what differs is how it is searched and the RPC
+// layering.
+func Ultrix() Options {
+	return Options{
+		Name: "ultrix", NameCache: false, ChainedBufs: false,
+		XDRCopyLayer: true, CacheBufs: 192, DupCacheSize: 64, NFSDs: 4,
+	}
+}
+
+// Stats counts server activity.
+type Stats struct {
+	Calls     [nfsproto.NumProcsExt]int
+	Errors    int
+	DupHits   int
+	BytesIn   int
+	BytesOut  int
+	Evictions int // lease eviction notices sent
+}
+
+// Total returns the total call count.
+func (s *Stats) Total() int {
+	n := 0
+	for _, c := range s.Calls {
+		n += c
+	}
+	return n
+}
+
+// Server is an NFS server instance.
+type Server struct {
+	FS    *memfs.FS
+	Opts  Options
+	Node  *netsim.Node // nil outside the simulator
+	bufc  *vfs.BufCache
+	namec *vfs.NameCache
+	dupc  *dupCache
+	Stats Stats
+
+	// Lease extension state (lease.go).
+	leaseTab map[nfsproto.FH]*leaseState
+	cbSock   *netsim.UDPSocket
+	// noGrantsUntil implements NQNFS crash recovery: after a reboot the
+	// server refuses new leases for one lease period, so every lease
+	// granted before the crash has expired before a conflicting one can
+	// exist.
+	noGrantsUntil sim.Time
+	// down simulates a crashed (unresponsive) server: frontends drop
+	// requests, clients retransmit — the statelessness story of §1.
+	down bool
+	// MOUNT protocol state (mountd.go).
+	mounts *mountState
+	// Write-gathering state: per-file end of the current metadata window.
+	gather map[nfsproto.FH]sim.Time
+}
+
+// Crash simulates a server reboot: every piece of volatile state a real
+// reboot would lose is dropped — the buffer cache, the name cache, the
+// duplicate request cache and the lease table — and lease grants are
+// refused for one lease period (NQNFS-style recovery). The filesystem
+// itself (the disk) survives. Callers typically pair this with
+// SetDown(true) ... SetDown(false) around a virtual outage window.
+func (s *Server) Crash() {
+	s.bufc = vfs.NewBufCache(s.Opts.CacheBufs, s.Opts.ChainedBufs)
+	s.namec = vfs.NewNameCache()
+	s.namec.Enabled = s.Opts.NameCache
+	s.dupc = newDupCache(s.Opts.DupCacheSize)
+	s.leaseTab = nil
+	s.noGrantsUntil = s.now() + s.leaseDuration()
+}
+
+// SetDown makes the frontends silently drop requests (true) or serve
+// normally (false).
+func (s *Server) SetDown(down bool) { s.down = down }
+
+// Down reports whether the server is dropping requests.
+func (s *Server) Down() bool { return s.down }
+
+// New creates a server over fs.
+func New(fs *memfs.FS, opts Options) *Server {
+	if opts.CacheBufs == 0 {
+		opts.CacheBufs = 192
+	}
+	if opts.DupCacheSize == 0 {
+		opts.DupCacheSize = 64
+	}
+	if opts.NFSDs == 0 {
+		opts.NFSDs = 4
+	}
+	s := &Server{
+		FS:    fs,
+		Opts:  opts,
+		bufc:  vfs.NewBufCache(opts.CacheBufs, opts.ChainedBufs),
+		namec: vfs.NewNameCache(),
+		dupc:  newDupCache(opts.DupCacheSize),
+	}
+	s.namec.Enabled = opts.NameCache
+	return s
+}
+
+// AttachNode binds the server to a simulated host for CPU accounting.
+func (s *Server) AttachNode(n *netsim.Node) { s.Node = n }
+
+// SetNameCache toggles the server name cache at run time (the appendix
+// experiment).
+func (s *Server) SetNameCache(on bool) { s.namec.Enabled = on }
+
+// NameCacheStats exposes server name-cache behaviour.
+func (s *Server) NameCacheStats() vfs.NameCacheStats { return s.namec.Stats }
+
+// BufCacheStats exposes server buffer-cache behaviour.
+func (s *Server) BufCacheStats() vfs.CacheStats { return s.bufc.Stats }
+
+// RootFH returns the exported root file handle.
+func (s *Server) RootFH() nfsproto.FH { return s.FS.FH(s.FS.Root()) }
+
+// charge bills CPU when attached to a simulated node.
+func (s *Server) charge(p *sim.Proc, bucket string, us float64) {
+	if s.Node == nil || p == nil {
+		return
+	}
+	s.Node.ChargeCPU(p, bucket, s.Node.Model.Cost(us))
+}
+
+// nonIdempotent marks the procedures whose repetition corrupts state; their
+// replies go through the duplicate request cache.
+var nonIdempotent = [nfsproto.NumProcsExt]bool{
+	nfsproto.ProcSetattr: true,
+	nfsproto.ProcCreate:  true,
+	nfsproto.ProcRemove:  true,
+	nfsproto.ProcRename:  true,
+	nfsproto.ProcLink:    true,
+	nfsproto.ProcSymlink: true,
+	nfsproto.ProcMkdir:   true,
+	nfsproto.ProcRmdir:   true,
+}
+
+// errStatus maps memfs errors to NFS status codes.
+func errStatus(err error) nfsproto.Status {
+	switch err {
+	case nil:
+		return nfsproto.OK
+	case memfs.ErrNoEnt:
+		return nfsproto.ErrNoEnt
+	case memfs.ErrExist:
+		return nfsproto.ErrExist
+	case memfs.ErrNotDir:
+		return nfsproto.ErrNotDir
+	case memfs.ErrIsDir:
+		return nfsproto.ErrIsDir
+	case memfs.ErrNotEmpty:
+		return nfsproto.ErrNotEmpty
+	case memfs.ErrStale:
+		return nfsproto.ErrStale
+	case memfs.ErrNoSpc:
+		return nfsproto.ErrNoSpc
+	case memfs.ErrNameLen:
+		return nfsproto.ErrNameTooLong
+	default:
+		return nfsproto.ErrIO
+	}
+}
+
+// HandleCall processes one RPC request message and returns the reply
+// message (nil for undecodable garbage, which real servers also drop).
+// peer identifies the caller for duplicate-request caching.
+func (s *Server) HandleCall(p *sim.Proc, peer string, req *mbuf.Chain) *mbuf.Chain {
+	s.Stats.BytesIn += req.Len()
+	reqLen := req.Len()
+	d := xdr.NewDecoder(req)
+	call, err := rpc.DecodeCall(d)
+	if err != nil {
+		return nil
+	}
+	if call.Prog == nfsproto.MountProgram && call.Vers == nfsproto.MountVersion &&
+		call.Proc <= nfsproto.MountProcExport {
+		out := &mbuf.Chain{}
+		e := xdr.NewEncoder(out)
+		rpc.EncodeReply(out, call.XID, rpc.Success)
+		if err := s.dispatchMount(p, call.Proc, peer, d, e); err != nil {
+			out = &mbuf.Chain{}
+			rpc.EncodeReply(out, call.XID, rpc.GarbageArgs)
+		}
+		s.Stats.BytesOut += out.Len()
+		return out
+	}
+	unavailable := call.Proc >= nfsproto.NumProcsExt ||
+		(call.Proc >= nfsproto.NumProcs && !s.extensionEnabled(call.Proc))
+	if call.Prog != nfsproto.Program || call.Vers != nfsproto.Version || unavailable {
+		stat := uint32(rpc.ProcUnavail)
+		if call.Prog != nfsproto.Program {
+			stat = rpc.ProgUnavail
+		} else if call.Vers != nfsproto.Version {
+			stat = rpc.ProgMismatch
+		}
+		out := &mbuf.Chain{}
+		rpc.EncodeReply(out, call.XID, stat)
+		return out
+	}
+	s.charge(p, "nfs", costDispatch)
+	if s.Opts.XDRCopyLayer {
+		s.charge(p, "xdr_layer", costXDRCall+costXDRByte*float64(reqLen))
+	}
+	// Duplicate request cache for non-idempotent procedures.
+	dkey := fmt.Sprintf("%s/%d/%d", peer, call.XID, call.Proc)
+	if nonIdempotent[call.Proc] {
+		if cached := s.dupc.get(dkey); cached != nil {
+			s.Stats.DupHits++
+			return cached.Clone()
+		}
+	}
+	s.Stats.Calls[call.Proc]++
+
+	out := &mbuf.Chain{}
+	e := xdr.NewEncoder(out)
+	rpc.EncodeReply(out, call.XID, rpc.Success)
+	if err := s.dispatch(p, call.Proc, peer, d, e); err != nil {
+		// Argument decode failure: garbage args.
+		out = &mbuf.Chain{}
+		rpc.EncodeReply(out, call.XID, rpc.GarbageArgs)
+	}
+	if s.Opts.XDRCopyLayer {
+		s.charge(p, "xdr_layer", costXDRByte*float64(out.Len()))
+	}
+	if nonIdempotent[call.Proc] {
+		s.dupc.put(dkey, out.Clone())
+	}
+	s.Stats.BytesOut += out.Len()
+	return out
+}
+
+// dispatch decodes arguments from d and encodes results onto e. A returned
+// error means the arguments were garbage; NFS-level failures are encoded as
+// statuses.
+func (s *Server) dispatch(p *sim.Proc, proc uint32, peer string, d *xdr.Decoder, e *xdr.Encoder) error {
+	switch proc {
+	case nfsproto.ProcLease:
+		return s.leaseCall(p, peer, d, e)
+	case nfsproto.ProcVacated:
+		return s.vacatedCall(p, peer, d, e)
+	case nfsproto.ProcReaddirLook:
+		return s.readdirLook(p, d, e)
+	case nfsproto.ProcNull:
+		return nil
+	case nfsproto.ProcGetattr:
+		return s.getattr(p, peer, d, e)
+	case nfsproto.ProcSetattr:
+		return s.setattr(p, peer, d, e)
+	case nfsproto.ProcLookup:
+		return s.lookup(p, peer, d, e)
+	case nfsproto.ProcReadlink:
+		return s.readlink(p, d, e)
+	case nfsproto.ProcRead:
+		return s.read(p, peer, d, e)
+	case nfsproto.ProcWrite:
+		return s.write(p, peer, d, e)
+	case nfsproto.ProcCreate:
+		return s.create(p, d, e)
+	case nfsproto.ProcRemove:
+		return s.remove(p, d, e)
+	case nfsproto.ProcRename:
+		return s.rename(p, d, e)
+	case nfsproto.ProcLink:
+		return s.link(p, d, e)
+	case nfsproto.ProcSymlink:
+		return s.symlink(p, d, e)
+	case nfsproto.ProcMkdir:
+		return s.mkdir(p, d, e)
+	case nfsproto.ProcRmdir:
+		return s.rmdir(p, d, e)
+	case nfsproto.ProcReaddir:
+		return s.readdir(p, d, e)
+	case nfsproto.ProcStatfs:
+		return s.statfs(p, d, e)
+	default:
+		// ROOT and WRITECACHE are obsolete/unused.
+		(&nfsproto.StatusRes{Status: nfsproto.ErrIO}).Encode(e)
+		return nil
+	}
+}
+
+func (s *Server) getattr(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder) error {
+	args, err := nfsproto.DecodeGetattrArgs(d)
+	if err != nil {
+		return err
+	}
+	s.charge(p, "nfs", costVOP)
+	// Attributes of a write-leased file live on the holder; evict first.
+	if s.leaseConflict(p, args.File, false, peer) {
+		(&nfsproto.AttrRes{Status: nfsproto.ErrTryLater}).Encode(e)
+		return nil
+	}
+	n, err := s.FS.Resolve(args.File)
+	if err != nil {
+		(&nfsproto.AttrRes{Status: errStatus(err)}).Encode(e)
+		return nil
+	}
+	attr := s.FS.Attr(n)
+	(&nfsproto.AttrRes{Status: nfsproto.OK, Attr: &attr}).Encode(e)
+	return nil
+}
+
+func (s *Server) setattr(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder) error {
+	args, err := nfsproto.DecodeSetattrArgs(d)
+	if err != nil {
+		return err
+	}
+	s.charge(p, "nfs", costVOP)
+	if s.leaseConflict(p, args.File, true, peer) {
+		(&nfsproto.AttrRes{Status: nfsproto.ErrTryLater}).Encode(e)
+		return nil
+	}
+	n, err := s.FS.Resolve(args.File)
+	if err != nil {
+		(&nfsproto.AttrRes{Status: errStatus(err)}).Encode(e)
+		return nil
+	}
+	s.FS.Setattr(p, n, args.Attr)
+	attr := s.FS.Attr(n)
+	(&nfsproto.AttrRes{Status: nfsproto.OK, Attr: &attr}).Encode(e)
+	return nil
+}
+
+// scanDirectory walks the directory's blocks through the buffer cache,
+// charging CPU for the buffers examined and the disk for misses. This is
+// where the Reno/Ultrix lookup gap of Graphs 8-9 comes from.
+func (s *Server) scanDirectory(p *sim.Proc, dir *memfs.Inode) {
+	nblocks := memfs.NumDirBlocks(dir)
+	for b := 0; b < nblocks; b++ {
+		key := vfs.BufKey{Vnode: dir.Ino, Gen: dir.Gen, Block: uint32(b)}
+		buf, scanned := s.bufc.Lookup(key)
+		s.charge(p, "dirscan", costDirScanBuf*float64(scanned+1))
+		if buf == nil {
+			// Reserve the buffer before sleeping on the disk so another
+			// nfsd scanning the same directory does not double-insert.
+			s.bufc.Insert(key)
+			s.FS.Disk.Read(p, memfs.BlockSize)
+		}
+	}
+}
+
+func (s *Server) lookup(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder) error {
+	args, err := nfsproto.DecodeDiropArgs(d)
+	if err != nil {
+		return err
+	}
+	s.charge(p, "nfs", costVOP)
+	dir, err := s.FS.Resolve(args.Dir)
+	if err != nil {
+		(&nfsproto.DiropRes{Status: errStatus(err)}).Encode(e)
+		return nil
+	}
+	// Name cache first (when the personality has one).
+	if s.namec.Enabled {
+		s.charge(p, "namecache", costNameCacheHit)
+		if vn, vgen, neg, found := s.namec.Lookup(dir.Ino, dir.Gen, args.Name); found {
+			if neg {
+				(&nfsproto.DiropRes{Status: nfsproto.ErrNoEnt}).Encode(e)
+				return nil
+			}
+			if n, err := s.FS.Get(vn, vgen); err == nil {
+				if s.leaseConflict(p, s.FS.FH(n), false, peer) {
+					(&nfsproto.DiropRes{Status: nfsproto.ErrTryLater}).Encode(e)
+					return nil
+				}
+				attr := s.FS.Attr(n)
+				(&nfsproto.DiropRes{Status: nfsproto.OK, File: s.FS.FH(n), Attr: &attr}).Encode(e)
+				return nil
+			}
+			s.namec.Remove(dir.Ino, dir.Gen, args.Name)
+		}
+	}
+	s.scanDirectory(p, dir)
+	n, err := s.FS.Lookup(dir, args.Name)
+	if err != nil {
+		if err == memfs.ErrNoEnt {
+			s.namec.EnterNegative(dir.Ino, dir.Gen, args.Name)
+		}
+		s.Stats.Errors++
+		(&nfsproto.DiropRes{Status: errStatus(err)}).Encode(e)
+		return nil
+	}
+	s.namec.Enter(dir.Ino, dir.Gen, args.Name, n.Ino, n.Gen)
+	if s.leaseConflict(p, s.FS.FH(n), false, peer) {
+		(&nfsproto.DiropRes{Status: nfsproto.ErrTryLater}).Encode(e)
+		return nil
+	}
+	attr := s.FS.Attr(n)
+	(&nfsproto.DiropRes{Status: nfsproto.OK, File: s.FS.FH(n), Attr: &attr}).Encode(e)
+	return nil
+}
+
+func (s *Server) readlink(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
+	args, err := nfsproto.DecodeGetattrArgs(d)
+	if err != nil {
+		return err
+	}
+	s.charge(p, "nfs", costVOP)
+	n, err := s.FS.Resolve(args.File)
+	if err != nil {
+		(&nfsproto.ReadlinkRes{Status: errStatus(err)}).Encode(e)
+		return nil
+	}
+	target, err := s.FS.Readlink(n)
+	if err != nil {
+		(&nfsproto.ReadlinkRes{Status: errStatus(err)}).Encode(e)
+		return nil
+	}
+	(&nfsproto.ReadlinkRes{Status: nfsproto.OK, Path: target}).Encode(e)
+	return nil
+}
+
+func (s *Server) read(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder) error {
+	args, err := nfsproto.DecodeReadArgs(d)
+	if err != nil {
+		return err
+	}
+	s.charge(p, "nfs", costVOP)
+	if s.leaseConflict(p, args.File, false, peer) {
+		(&nfsproto.ReadRes{Status: nfsproto.ErrTryLater}).Encode(e)
+		return nil
+	}
+	n, err := s.FS.Resolve(args.File)
+	if err != nil {
+		(&nfsproto.ReadRes{Status: errStatus(err)}).Encode(e)
+		return nil
+	}
+	// Buffer cache residency decides whether the disk pays. An aligned 8K
+	// read touches one block; unaligned reads touch two.
+	first := args.Offset / memfs.BlockSize
+	last := first
+	if args.Count > 0 {
+		last = (args.Offset + args.Count - 1) / memfs.BlockSize
+	}
+	cached := true
+	for b := first; b <= last; b++ {
+		key := vfs.BufKey{Vnode: n.Ino, Gen: n.Gen, Block: b}
+		buf, scanned := s.bufc.Lookup(key)
+		s.charge(p, "dirscan", costDirScanBuf*float64(scanned+1))
+		if buf == nil {
+			cached = false
+			s.bufc.Insert(key)
+		}
+	}
+	page := make([]byte, args.Count)
+	got, err := s.FS.ReadAt(p, n, args.Offset, page, cached)
+	if err != nil {
+		(&nfsproto.ReadRes{Status: errStatus(err)}).Encode(e)
+		return nil
+	}
+	// Copy buffer cache data into mbufs — the §3 "third bottleneck" —
+	// unless the server lends cache pages as clusters.
+	if !s.Opts.LendPages {
+		s.charge(p, "buf_copy", costBufCopyByte*float64(got))
+	}
+	data := &mbuf.Chain{}
+	for off := 0; off < got; off += mbuf.ClBytes {
+		end := off + mbuf.ClBytes
+		if end > got {
+			end = got
+		}
+		data.AppendCluster(page[off:end])
+	}
+	attr := s.FS.Attr(n)
+	(&nfsproto.ReadRes{Status: nfsproto.OK, Attr: &attr, Data: data}).Encode(e)
+	return nil
+}
+
+func (s *Server) write(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder) error {
+	args, err := nfsproto.DecodeWriteArgs(d)
+	if err != nil {
+		return err
+	}
+	s.charge(p, "nfs", costVOP)
+	if s.leaseConflict(p, args.File, true, peer) {
+		(&nfsproto.AttrRes{Status: nfsproto.ErrTryLater}).Encode(e)
+		return nil
+	}
+	n, err := s.FS.Resolve(args.File)
+	if err != nil {
+		(&nfsproto.AttrRes{Status: errStatus(err)}).Encode(e)
+		return nil
+	}
+	data := args.Data.Bytes()
+	// mbuf -> buffer cache copy.
+	s.charge(p, "buf_copy", costBufCopyByte*float64(len(data)))
+	// Synchronous writes: data + inode, plus an indirect block once the
+	// file outgrows its direct blocks (UFS: 12 of them).
+	diskWrites := 2
+	if args.Offset/memfs.BlockSize >= 12 {
+		diskWrites = 3
+	}
+	if s.Opts.WriteGathering && s.Node != nil {
+		// Within the gather window, only the data block is synchronous;
+		// the metadata updates ride the window's single commit.
+		const gatherWindow = 100 * time.Millisecond
+		if s.gather == nil {
+			s.gather = make(map[nfsproto.FH]sim.Time)
+		}
+		now := s.now()
+		if now < s.gather[args.File] {
+			diskWrites = 1
+		} else {
+			s.gather[args.File] = now + gatherWindow
+		}
+	}
+	if err := s.FS.WriteAt(p, n, args.Offset, data, diskWrites); err != nil {
+		(&nfsproto.AttrRes{Status: errStatus(err)}).Encode(e)
+		return nil
+	}
+	// The written block is now cached.
+	key := vfs.BufKey{Vnode: n.Ino, Gen: n.Gen, Block: args.Offset / memfs.BlockSize}
+	if b := s.bufc.Peek(key); b == nil {
+		s.bufc.Insert(key)
+	}
+	attr := s.FS.Attr(n)
+	(&nfsproto.AttrRes{Status: nfsproto.OK, Attr: &attr}).Encode(e)
+	return nil
+}
+
+func (s *Server) create(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
+	args, err := nfsproto.DecodeCreateArgs(d)
+	if err != nil {
+		return err
+	}
+	s.charge(p, "nfs", costVOP)
+	dir, err := s.FS.Resolve(args.Where.Dir)
+	if err != nil {
+		(&nfsproto.DiropRes{Status: errStatus(err)}).Encode(e)
+		return nil
+	}
+	s.scanDirectory(p, dir)
+	mode := args.Attr.Mode
+	if mode == nfsproto.NoValue {
+		mode = 0644
+	}
+	n, err := s.FS.Create(p, dir, args.Where.Name, mode)
+	if err == memfs.ErrExist {
+		// CREATE of an existing file succeeds (truncating per sattr), the
+		// way NFS v2 open-for-write works.
+		n, err = s.FS.Lookup(dir, args.Where.Name)
+	}
+	if err != nil {
+		s.Stats.Errors++
+		(&nfsproto.DiropRes{Status: errStatus(err)}).Encode(e)
+		return nil
+	}
+	if args.Attr.Size != nfsproto.NoValue {
+		trunc := nfsproto.NewSattr()
+		trunc.Size = args.Attr.Size
+		s.FS.Setattr(p, n, trunc)
+	}
+	s.namec.Enter(dir.Ino, dir.Gen, args.Where.Name, n.Ino, n.Gen)
+	attr := s.FS.Attr(n)
+	(&nfsproto.DiropRes{Status: nfsproto.OK, File: s.FS.FH(n), Attr: &attr}).Encode(e)
+	return nil
+}
+
+func (s *Server) remove(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
+	args, err := nfsproto.DecodeDiropArgs(d)
+	if err != nil {
+		return err
+	}
+	s.charge(p, "nfs", costVOP)
+	dir, rerr := s.FS.Resolve(args.Dir)
+	if rerr == nil {
+		s.scanDirectory(p, dir)
+		if n, lerr := s.FS.Lookup(dir, args.Name); lerr == nil {
+			s.bufc.InvalidateVnode(n.Ino, n.Gen)
+			s.namec.PurgeVnode(n.Ino, n.Gen)
+		}
+		s.namec.Remove(dir.Ino, dir.Gen, args.Name)
+		rerr = s.FS.Remove(p, dir, args.Name)
+	}
+	if rerr != nil {
+		s.Stats.Errors++
+	}
+	(&nfsproto.StatusRes{Status: errStatus(rerr)}).Encode(e)
+	return nil
+}
+
+func (s *Server) rename(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
+	args, err := nfsproto.DecodeRenameArgs(d)
+	if err != nil {
+		return err
+	}
+	s.charge(p, "nfs", costVOP)
+	from, ferr := s.FS.Resolve(args.From.Dir)
+	to, terr := s.FS.Resolve(args.To.Dir)
+	var rerr error
+	switch {
+	case ferr != nil:
+		rerr = ferr
+	case terr != nil:
+		rerr = terr
+	default:
+		s.scanDirectory(p, from)
+		if to != from {
+			s.scanDirectory(p, to)
+		}
+		s.namec.Remove(from.Ino, from.Gen, args.From.Name)
+		s.namec.Remove(to.Ino, to.Gen, args.To.Name)
+		rerr = s.FS.Rename(p, from, args.From.Name, to, args.To.Name)
+	}
+	if rerr != nil {
+		s.Stats.Errors++
+	}
+	(&nfsproto.StatusRes{Status: errStatus(rerr)}).Encode(e)
+	return nil
+}
+
+func (s *Server) link(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
+	args, err := nfsproto.DecodeLinkArgs(d)
+	if err != nil {
+		return err
+	}
+	s.charge(p, "nfs", costVOP)
+	n, nerr := s.FS.Resolve(args.From)
+	dir, derr := s.FS.Resolve(args.To.Dir)
+	var rerr error
+	switch {
+	case nerr != nil:
+		rerr = nerr
+	case derr != nil:
+		rerr = derr
+	default:
+		s.scanDirectory(p, dir)
+		rerr = s.FS.Link(p, n, dir, args.To.Name)
+		if rerr == nil {
+			s.namec.Enter(dir.Ino, dir.Gen, args.To.Name, n.Ino, n.Gen)
+		}
+	}
+	if rerr != nil {
+		s.Stats.Errors++
+	}
+	(&nfsproto.StatusRes{Status: errStatus(rerr)}).Encode(e)
+	return nil
+}
+
+func (s *Server) symlink(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
+	args, err := nfsproto.DecodeSymlinkArgs(d)
+	if err != nil {
+		return err
+	}
+	s.charge(p, "nfs", costVOP)
+	dir, rerr := s.FS.Resolve(args.From.Dir)
+	if rerr == nil {
+		s.scanDirectory(p, dir)
+		mode := args.Attr.Mode
+		if mode == nfsproto.NoValue {
+			mode = 0777
+		}
+		_, rerr = s.FS.Symlink(p, dir, args.From.Name, args.To, mode)
+	}
+	if rerr != nil {
+		s.Stats.Errors++
+	}
+	(&nfsproto.StatusRes{Status: errStatus(rerr)}).Encode(e)
+	return nil
+}
+
+func (s *Server) mkdir(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
+	args, err := nfsproto.DecodeCreateArgs(d)
+	if err != nil {
+		return err
+	}
+	s.charge(p, "nfs", costVOP)
+	dir, rerr := s.FS.Resolve(args.Where.Dir)
+	if rerr != nil {
+		(&nfsproto.DiropRes{Status: errStatus(rerr)}).Encode(e)
+		return nil
+	}
+	s.scanDirectory(p, dir)
+	mode := args.Attr.Mode
+	if mode == nfsproto.NoValue {
+		mode = 0755
+	}
+	n, rerr := s.FS.Mkdir(p, dir, args.Where.Name, mode)
+	if rerr != nil {
+		s.Stats.Errors++
+		(&nfsproto.DiropRes{Status: errStatus(rerr)}).Encode(e)
+		return nil
+	}
+	s.namec.Enter(dir.Ino, dir.Gen, args.Where.Name, n.Ino, n.Gen)
+	attr := s.FS.Attr(n)
+	(&nfsproto.DiropRes{Status: nfsproto.OK, File: s.FS.FH(n), Attr: &attr}).Encode(e)
+	return nil
+}
+
+func (s *Server) rmdir(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
+	args, err := nfsproto.DecodeDiropArgs(d)
+	if err != nil {
+		return err
+	}
+	s.charge(p, "nfs", costVOP)
+	dir, rerr := s.FS.Resolve(args.Dir)
+	if rerr == nil {
+		s.scanDirectory(p, dir)
+		if n, lerr := s.FS.Lookup(dir, args.Name); lerr == nil {
+			s.namec.PurgeDir(n.Ino, n.Gen)
+			s.namec.PurgeVnode(n.Ino, n.Gen)
+		}
+		s.namec.Remove(dir.Ino, dir.Gen, args.Name)
+		rerr = s.FS.Rmdir(p, dir, args.Name)
+	}
+	if rerr != nil {
+		s.Stats.Errors++
+	}
+	(&nfsproto.StatusRes{Status: errStatus(rerr)}).Encode(e)
+	return nil
+}
+
+func (s *Server) readdir(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
+	args, err := nfsproto.DecodeReaddirArgs(d)
+	if err != nil {
+		return err
+	}
+	s.charge(p, "nfs", costVOP)
+	dir, rerr := s.FS.Resolve(args.Dir)
+	if rerr != nil {
+		(&nfsproto.ReaddirRes{Status: errStatus(rerr)}).Encode(e)
+		return nil
+	}
+	if dir.Type != nfsproto.TypeDir {
+		(&nfsproto.ReaddirRes{Status: nfsproto.ErrNotDir}).Encode(e)
+		return nil
+	}
+	s.scanDirectory(p, dir)
+	ents := s.FS.DirEntries(dir)
+	res := &nfsproto.ReaddirRes{Status: nfsproto.OK}
+	// Cookie 0 starts with "." and ".."; synthetic cookies count entries
+	// emitted so far.
+	budget := int(args.Count)
+	if budget <= 0 || budget > nfsproto.MaxData {
+		budget = nfsproto.MaxData
+	}
+	synth := []nfsproto.DirEntry{
+		{FileID: dir.Ino, Name: ".", Cookie: 1},
+		{FileID: dir.Ino, Name: "..", Cookie: 2},
+	}
+	all := append(synth, make([]nfsproto.DirEntry, 0, len(ents))...)
+	for i, de := range ents {
+		all = append(all, nfsproto.DirEntry{FileID: de.Ino, Name: de.Name, Cookie: uint32(i + 3)})
+	}
+	used := 16 // status + eof + terminator
+	for i := int(args.Cookie); i < len(all); i++ {
+		sz := 16 + len(all[i].Name)
+		if used+sz > budget {
+			res.EOF = false
+			res.Encode(e)
+			return nil
+		}
+		res.Entries = append(res.Entries, all[i])
+		used += sz
+	}
+	res.EOF = true
+	res.Encode(e)
+	return nil
+}
+
+func (s *Server) statfs(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
+	if _, err := nfsproto.DecodeGetattrArgs(d); err != nil {
+		return err
+	}
+	s.charge(p, "nfs", costVOP)
+	res := s.FS.Statfs()
+	res.Encode(e)
+	return nil
+}

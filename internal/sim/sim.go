@@ -1,0 +1,283 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel advances a virtual clock and executes events in (time, sequence)
+// order. Simulated activities run as ordinary goroutines ("processes") that
+// hand control back to the scheduler whenever they block on a simulated
+// primitive (Sleep, Queue.Recv, Resource.Acquire, ...). Exactly one process
+// runs at a time, so simulated code needs no locking and every run with the
+// same seed is bit-for-bit reproducible.
+//
+// The kernel is the substrate for the network and host models in
+// internal/netsim; nothing in it is NFS-specific.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is virtual time since the start of the simulation.
+type Time = time.Duration
+
+// event is a scheduled callback. Events with equal when fire in seq order.
+type event struct {
+	when Time
+	seq  uint64
+	fn   func()
+	idx  int // heap index, -1 when cancelled or popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Env is a simulation environment: a clock, an event queue and a set of
+// processes. Create one with New, populate it with Spawn, then call Run.
+type Env struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	parked  chan struct{} // signalled when the running process parks or exits
+	stop    chan struct{} // closed by Close to unwind parked processes
+	closed  bool
+	current *Proc
+}
+
+// New returns an empty environment whose random source is seeded with seed.
+func New(seed int64) *Env {
+	return &Env{
+		rng:    rand.New(rand.NewSource(seed)),
+		parked: make(chan struct{}),
+		stop:   make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Rand returns the environment's deterministic random source. It must only
+// be used from simulation context (process bodies and event callbacks).
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Timer is a handle to a scheduled callback.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer if it has not fired. It reports whether the timer
+// was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.idx < 0 || t.ev.fn == nil {
+		return false
+	}
+	t.ev.fn = nil
+	return true
+}
+
+// Pending reports whether the timer is still scheduled and uncancelled.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && t.ev.idx >= 0 && t.ev.fn != nil
+}
+
+// At schedules fn to run at virtual time when (clamped to now). The callback
+// runs in scheduler context and must not block on simulation primitives;
+// use Spawn for blocking activities.
+func (e *Env) At(when Time, fn func()) *Timer {
+	if when < e.now {
+		when = e.now
+	}
+	ev := &event{when: when, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d from now.
+func (e *Env) After(d Time, fn func()) *Timer { return e.At(e.now+d, fn) }
+
+// Proc is a simulated process. The pointer is passed to the process body and
+// is the handle through which the body blocks on simulated primitives.
+type Proc struct {
+	env  *Env
+	name string
+	wake chan struct{}
+}
+
+// Env returns the environment the process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Rand returns the environment's random source.
+func (p *Proc) Rand() *rand.Rand { return p.env.rng }
+
+// stopSim unwinds a process when the environment is shut down. It is caught
+// by the Spawn wrapper; process bodies must not recover from it.
+type stopSim struct{}
+
+// park hands control back to the scheduler until the process is resumed.
+func (p *Proc) park() {
+	e := p.env
+	e.current = nil
+	e.parked <- struct{}{}
+	select {
+	case <-p.wake:
+		e.current = p
+	case <-e.stop:
+		panic(stopSim{})
+	}
+}
+
+// resumeAt schedules the process to resume at time when.
+func (e *Env) resumeAt(when Time, p *Proc) *Timer {
+	return e.At(when, func() { e.runProc(p) })
+}
+
+// runProc wakes p and waits until it parks again or exits. Must be called
+// from scheduler context only.
+func (e *Env) runProc(p *Proc) {
+	p.wake <- struct{}{}
+	<-e.parked
+}
+
+// Spawn starts fn as a new process at the current virtual time. fn begins
+// executing when the scheduler reaches the spawn event.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, wake: make(chan struct{})}
+	e.At(e.now, func() {
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(stopSim); ok {
+						// Unwound by Close: the scheduler is not waiting,
+						// and shared state must not be touched — every
+						// parked goroutine unwinds concurrently.
+						return
+					}
+					panic(r)
+				}
+				e.current = nil
+				e.parked <- struct{}{}
+			}()
+			// Wait for the scheduler's first handoff.
+			select {
+			case <-p.wake:
+				e.current = p
+			case <-e.stop:
+				panic(stopSim{})
+			}
+			fn(p)
+		}()
+		e.runProc(p)
+	})
+	return p
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.resumeAt(p.env.now+d, p)
+	p.park()
+}
+
+// Yield reschedules the process at the current time, letting every other
+// event already scheduled for this instant run first.
+func (p *Proc) Yield() {
+	p.env.resumeAt(p.env.now, p)
+	p.park()
+}
+
+// Run executes events until the queue empties or the clock would pass until.
+// It returns the virtual time at which it stopped. Run may be called
+// repeatedly with increasing horizons.
+func (e *Env) Run(until Time) Time {
+	if e.closed {
+		panic("sim: Run after Close")
+	}
+	for len(e.events) > 0 {
+		ev := e.events[0]
+		if ev.when > until {
+			e.now = until
+			return e.now
+		}
+		heap.Pop(&e.events)
+		if ev.fn == nil {
+			continue // cancelled
+		}
+		e.now = ev.when
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return e.now
+}
+
+// RunAll executes events until the queue empties, leaving the clock at the
+// time of the last event (unlike Run, which advances to its horizon).
+func (e *Env) RunAll() Time {
+	if e.closed {
+		panic("sim: RunAll after Close")
+	}
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.fn == nil {
+			continue
+		}
+		e.now = ev.when
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+	}
+	return e.now
+}
+
+// Close unwinds all parked processes so their goroutines exit. The
+// environment must not be used afterwards. It is safe to call more than once.
+func (e *Env) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	close(e.stop)
+}
+
+// String implements fmt.Stringer for debugging.
+func (e *Env) String() string {
+	return fmt.Sprintf("sim.Env{now=%v pending=%d}", e.now, len(e.events))
+}

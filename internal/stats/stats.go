@@ -1,0 +1,170 @@
+// Package stats provides the small measurement toolkit the experiments
+// use: streaming summaries, sampled percentiles, time series for the
+// paper's graphs, and a plain-text table writer for the harness output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary accumulates a stream of values.
+type Summary struct {
+	Count   int
+	Sum     float64
+	Min     float64
+	Max     float64
+	samples []float64
+	cap     int
+}
+
+// NewSummary returns a summary retaining up to capacity samples for
+// percentile queries (0 keeps everything).
+func NewSummary(capacity int) *Summary {
+	return &Summary{Min: math.Inf(1), Max: math.Inf(-1), cap: capacity}
+}
+
+// Add folds in one observation.
+func (s *Summary) Add(v float64) {
+	s.Count++
+	s.Sum += v
+	if v < s.Min {
+		s.Min = v
+	}
+	if v > s.Max {
+		s.Max = v
+	}
+	if s.cap == 0 || len(s.samples) < s.cap {
+		s.samples = append(s.samples, v)
+	} else {
+		// Reservoir-style replacement keeps percentiles representative.
+		i := s.Count % len(s.samples)
+		s.samples[i] = v
+	}
+}
+
+// AddDuration folds in a duration in milliseconds.
+func (s *Summary) AddDuration(d time.Duration) {
+	s.Add(float64(d) / float64(time.Millisecond))
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Summary) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) of retained
+// samples.
+func (s *Summary) Percentile(p float64) float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.samples...)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// String summarizes for logs.
+func (s *Summary) String() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.2f min=%.2f p95=%.2f max=%.2f",
+		s.Count, s.Mean(), s.Min, s.Percentile(95), s.Max)
+}
+
+// Point is one (x, y) sample of a graph series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named sequence of points — one line on one of the paper's
+// graphs.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// Table renders rows of labelled columns as aligned text, the harness's
+// output format for the paper's tables and graph data.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		case time.Duration:
+			row[i] = fmt.Sprintf("%.1f", float64(v)/float64(time.Millisecond))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}

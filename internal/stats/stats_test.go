@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	s := NewSummary(0)
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Add(v)
+	}
+	if s.Count != 5 || s.Mean() != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if p := s.Percentile(50); p != 3 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := s.Percentile(100); p != 5 {
+		t.Fatalf("p100 = %v", p)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	s := NewSummary(4)
+	if s.Mean() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty summary not zero")
+	}
+	if !strings.Contains(s.String(), "n=0") {
+		t.Fatal("bad empty string")
+	}
+}
+
+func TestSummaryReservoirBounded(t *testing.T) {
+	s := NewSummary(10)
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i))
+	}
+	if len(s.samples) != 10 {
+		t.Fatalf("samples = %d", len(s.samples))
+	}
+	if s.Count != 1000 || s.Max != 999 {
+		t.Fatalf("stats lost: %+v", s)
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	s := NewSummary(0)
+	s.AddDuration(250 * time.Millisecond)
+	if s.Mean() != 250 {
+		t.Fatalf("mean = %v ms", s.Mean())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var sr Series
+	sr.Name = "tcp"
+	sr.Add(1, 10)
+	sr.Add(2, 20)
+	if len(sr.Points) != 2 || sr.Points[1].Y != 20 {
+		t.Fatalf("series = %+v", sr)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table #1", "transport", "rate", "rtt")
+	tb.AddRow("udp-fixed", 3.5, 150*time.Millisecond)
+	tb.AddRow("tcp", 11.0, 42*time.Millisecond)
+	out := tb.String()
+	if !strings.Contains(out, "Table #1") || !strings.Contains(out, "udp-fixed") {
+		t.Fatalf("output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "150.0") || !strings.Contains(out, "11.0") {
+		t.Fatalf("formatting wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,477 @@
+package tcpsim
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"renonfs/internal/mbuf"
+	"renonfs/internal/netsim"
+	"renonfs/internal/sim"
+)
+
+const ms = time.Millisecond
+
+func testbed(t *testing.T, seed int64, topo netsim.Topology, mutate func(cfg *netsim.LinkConfig)) (*sim.Env, *Stack, *Stack) {
+	t.Helper()
+	env := sim.New(seed)
+	t.Cleanup(env.Close)
+	nt := netsim.New(env)
+	a := nt.AddNode(netsim.NodeConfig{Name: "a"})
+	b := nt.AddNode(netsim.NodeConfig{Name: "b"})
+	cfg := netsim.Ethernet("eth")
+	cfg.LossProb = 0
+	cfg.BgUtil = 0
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	nt.Connect(a, b, cfg)
+	nt.ComputeRoutes()
+	return env, NewStack(a), NewStack(b)
+}
+
+// transfer sends payload a->b and returns what b received.
+func transfer(t *testing.T, env *sim.Env, sa, sb *Stack, payload []byte, horizon sim.Time) []byte {
+	t.Helper()
+	l := sb.Listen(2049)
+	var got []byte
+	done := false
+	env.Spawn("rx", func(p *sim.Proc) {
+		c, ok := l.Accept(p)
+		if !ok {
+			return
+		}
+		for {
+			b, ok := c.Recv(p)
+			if !ok {
+				break
+			}
+			got = append(got, b...)
+		}
+		done = true
+	})
+	env.Spawn("tx", func(p *sim.Proc) {
+		c, err := sa.Dial(p, sb.Node().ID, 2049)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		if err := c.Send(p, mbuf.FromBytes(payload)); err != nil {
+			t.Errorf("send: %v", err)
+		}
+		c.Close()
+	})
+	env.Run(horizon)
+	if !done {
+		t.Fatalf("receiver never saw EOF (got %d/%d bytes)", len(got), len(payload))
+	}
+	return got
+}
+
+func pattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*31 + i/257)
+	}
+	return b
+}
+
+func TestHandshakeAndSmallTransfer(t *testing.T) {
+	env, sa, sb := testbed(t, 1, netsim.TopoLAN, nil)
+	payload := []byte("NFS over TCP works fine, actually")
+	got := transfer(t, env, sa, sb, payload, 10*time.Second)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestBulkTransferIntegrity(t *testing.T) {
+	env, sa, sb := testbed(t, 2, netsim.TopoLAN, nil)
+	payload := pattern(200 * 1024)
+	got := transfer(t, env, sa, sb, payload, 5*time.Minute)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("corrupted transfer: got %d bytes, want %d", len(got), len(payload))
+	}
+}
+
+func TestTransferUnderLoss(t *testing.T) {
+	env, sa, sb := testbed(t, 3, netsim.TopoLAN, func(cfg *netsim.LinkConfig) {
+		cfg.LossProb = 0.05
+	})
+	payload := pattern(100 * 1024)
+	l := sb.Listen(2049)
+	var got []byte
+	var rxConn *Conn
+	env.Spawn("rx", func(p *sim.Proc) {
+		c, ok := l.Accept(p)
+		if !ok {
+			return
+		}
+		rxConn = c
+		for {
+			b, ok := c.Recv(p)
+			if !ok {
+				return
+			}
+			got = append(got, b...)
+		}
+	})
+	var txConn *Conn
+	env.Spawn("tx", func(p *sim.Proc) {
+		c, err := sa.Dial(p, sb.Node().ID, 2049)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		txConn = c
+		c.Send(p, mbuf.FromBytes(payload))
+		c.Close()
+	})
+	env.Run(10 * time.Minute)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("loss recovery failed: got %d bytes, want %d", len(got), len(payload))
+	}
+	if txConn.Stats.Retransmits == 0 {
+		t.Fatal("no retransmissions under 5% loss")
+	}
+	_ = rxConn
+}
+
+func TestFastRetransmitFires(t *testing.T) {
+	env, sa, sb := testbed(t, 5, netsim.TopoLAN, func(cfg *netsim.LinkConfig) {
+		cfg.LossProb = 0.02
+	})
+	payload := pattern(300 * 1024)
+	l := sb.Listen(2049)
+	env.Spawn("rx", func(p *sim.Proc) {
+		c, ok := l.Accept(p)
+		if !ok {
+			return
+		}
+		for {
+			if _, ok := c.Recv(p); !ok {
+				return
+			}
+		}
+	})
+	var txConn *Conn
+	env.Spawn("tx", func(p *sim.Proc) {
+		c, err := sa.Dial(p, sb.Node().ID, 2049)
+		if err != nil {
+			return
+		}
+		txConn = c
+		c.Send(p, mbuf.FromBytes(payload))
+		c.Close()
+	})
+	env.Run(10 * time.Minute)
+	if txConn == nil || txConn.Stats.FastRetransmits == 0 {
+		t.Fatalf("expected fast retransmits on a 2%% lossy bulk transfer; stats: %+v", txConn.Stats)
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	env, sa, sb := testbed(t, 7, netsim.TopoLAN, nil)
+	l := sb.Listen(2049)
+	req := pattern(5000)
+	var gotReq, gotResp []byte
+	env.Spawn("server", func(p *sim.Proc) {
+		c, ok := l.Accept(p)
+		if !ok {
+			return
+		}
+		for len(gotReq) < len(req) {
+			b, ok := c.Recv(p)
+			if !ok {
+				return
+			}
+			gotReq = append(gotReq, b...)
+		}
+		c.Send(p, mbuf.FromBytes([]byte("response!")))
+		c.Close()
+	})
+	env.Spawn("client", func(p *sim.Proc) {
+		c, err := sa.Dial(p, sb.Node().ID, 2049)
+		if err != nil {
+			return
+		}
+		c.Send(p, mbuf.FromBytes(req))
+		for {
+			b, ok := c.Recv(p)
+			if !ok {
+				break
+			}
+			gotResp = append(gotResp, b...)
+		}
+		c.Close()
+	})
+	env.Run(time.Minute)
+	if !bytes.Equal(gotReq, req) {
+		t.Fatal("request corrupted")
+	}
+	if string(gotResp) != "response!" {
+		t.Fatalf("response = %q", gotResp)
+	}
+}
+
+func TestThroughputRespectsBandwidth(t *testing.T) {
+	// 100 KB over a 56 Kbit/s line takes at least 100e3*8/56e3 ~ 14.6 s.
+	env := sim.New(11)
+	defer env.Close()
+	tb := netsim.Build(env, netsim.TopoSlow, netsim.NodeConfig{}, netsim.NodeConfig{})
+	sa, sb := NewStack(tb.Client), NewStack(tb.Server)
+	payload := pattern(100 * 1024)
+	start := env.Now()
+	var end sim.Time
+	l := sb.Listen(2049)
+	env.Spawn("rx", func(p *sim.Proc) {
+		c, ok := l.Accept(p)
+		if !ok {
+			return
+		}
+		n := 0
+		for {
+			b, ok := c.Recv(p)
+			if !ok {
+				break
+			}
+			n += len(b)
+		}
+		if n == len(payload) {
+			end = p.Now()
+		}
+	})
+	env.Spawn("tx", func(p *sim.Proc) {
+		c, err := sa.Dial(p, tb.Server.ID, 2049)
+		if err != nil {
+			return
+		}
+		c.Send(p, mbuf.FromBytes(payload))
+		c.Close()
+	})
+	env.Run(30 * time.Minute)
+	if end == 0 {
+		t.Fatal("transfer never completed")
+	}
+	elapsed := end - start
+	if elapsed < 14*time.Second {
+		t.Fatalf("transfer finished in %v, faster than the line rate allows", elapsed)
+	}
+	if elapsed > 10*time.Minute {
+		t.Fatalf("transfer took %v, absurdly slow", elapsed)
+	}
+}
+
+func TestRTTEstimator(t *testing.T) {
+	c := &Conn{rto: 3 * time.Second}
+	c.updateRTT(100 * ms)
+	if c.srtt != 100*ms || c.rttvar != 50*ms {
+		t.Fatalf("first sample: srtt=%v rttvar=%v", c.srtt, c.rttvar)
+	}
+	if c.rto != 100*ms+4*50*ms {
+		t.Fatalf("rto = %v, want A+4D = 300ms", c.rto)
+	}
+	// Repeated identical samples shrink the variance toward zero.
+	for i := 0; i < 50; i++ {
+		c.updateRTT(100 * ms)
+	}
+	if c.srtt < 95*ms || c.srtt > 105*ms {
+		t.Fatalf("srtt drifted: %v", c.srtt)
+	}
+	if c.rttvar > 5*ms {
+		t.Fatalf("rttvar did not converge: %v", c.rttvar)
+	}
+	// A spike raises both the mean and the deviation.
+	before := c.curRTOForTest()
+	c.updateRTT(2 * time.Second)
+	if c.rto <= before {
+		t.Fatal("RTO did not react to an RTT spike")
+	}
+}
+
+// curRTOForTest exposes the clamped RTO without a live connection.
+func (c *Conn) curRTOForTest() sim.Time {
+	if c.backoff == 0 {
+		c.backoff = 1
+	}
+	return c.curRTO()
+}
+
+func TestDialTimeout(t *testing.T) {
+	env := sim.New(13)
+	defer env.Close()
+	nt := netsim.New(env)
+	a := nt.AddNode(netsim.NodeConfig{Name: "a"})
+	b := nt.AddNode(netsim.NodeConfig{Name: "b"})
+	cfg := netsim.Ethernet("eth")
+	cfg.LossProb = 1.0 // black hole
+	nt.Connect(a, b, cfg)
+	nt.ComputeRoutes()
+	sa := NewStack(a)
+	var dialErr error
+	env.Spawn("tx", func(p *sim.Proc) {
+		_, dialErr = sa.Dial(p, b.ID, 2049)
+	})
+	env.Run(3 * time.Minute)
+	if dialErr != ErrTimeout {
+		t.Fatalf("dial err = %v, want ErrTimeout", dialErr)
+	}
+}
+
+func TestSendAfterCloseFails(t *testing.T) {
+	env, sa, sb := testbed(t, 17, netsim.TopoLAN, nil)
+	l := sb.Listen(2049)
+	env.Spawn("rx", func(p *sim.Proc) {
+		c, ok := l.Accept(p)
+		if !ok {
+			return
+		}
+		for {
+			if _, ok := c.Recv(p); !ok {
+				return
+			}
+		}
+	})
+	var sendErr error
+	env.Spawn("tx", func(p *sim.Proc) {
+		c, err := sa.Dial(p, sb.Node().ID, 2049)
+		if err != nil {
+			return
+		}
+		c.Close()
+		sendErr = c.Send(p, mbuf.FromBytes([]byte("late")))
+	})
+	env.Run(time.Minute)
+	if sendErr != ErrClosed {
+		t.Fatalf("send after close = %v, want ErrClosed", sendErr)
+	}
+}
+
+func TestMSSFromPathMTU(t *testing.T) {
+	env := sim.New(19)
+	defer env.Close()
+	tb := netsim.Build(env, netsim.TopoSlow, netsim.NodeConfig{}, netsim.NodeConfig{})
+	sa := NewStack(tb.Client)
+	sb := NewStack(tb.Server)
+	l := sb.Listen(2049)
+	var mss int
+	env.Spawn("rx", func(p *sim.Proc) {
+		if c, ok := l.Accept(p); ok {
+			_ = c
+		}
+	})
+	env.Spawn("tx", func(p *sim.Proc) {
+		c, err := sa.Dial(p, tb.Server.ID, 2049)
+		if err != nil {
+			return
+		}
+		mss = c.MSS()
+	})
+	env.Run(time.Minute)
+	if mss != 1006-20 {
+		t.Fatalf("MSS = %d, want %d (serial line MTU minus TCP header)", mss, 1006-20)
+	}
+}
+
+func TestDeterministicTransfers(t *testing.T) {
+	run := func() (int, int) {
+		env := sim.New(99)
+		defer env.Close()
+		nt := netsim.New(env)
+		a := nt.AddNode(netsim.NodeConfig{Name: "a"})
+		b := nt.AddNode(netsim.NodeConfig{Name: "b"})
+		cfg := netsim.Ethernet("eth")
+		cfg.LossProb = 0.03
+		nt.Connect(a, b, cfg)
+		nt.ComputeRoutes()
+		sa, sb := NewStack(a), NewStack(b)
+		l := sb.Listen(2049)
+		rx := 0
+		env.Spawn("rx", func(p *sim.Proc) {
+			c, ok := l.Accept(p)
+			if !ok {
+				return
+			}
+			for {
+				b, ok := c.Recv(p)
+				if !ok {
+					return
+				}
+				rx += len(b)
+			}
+		})
+		var rtx int
+		env.Spawn("tx", func(p *sim.Proc) {
+			c, err := sa.Dial(p, b.ID, 2049)
+			if err != nil {
+				return
+			}
+			c.Send(p, mbuf.FromBytes(pattern(64*1024)))
+			c.Close()
+			rtx = c.Stats.Retransmits
+		})
+		env.Run(5 * time.Minute)
+		return rx, rtx
+	}
+	rx1, rtx1 := run()
+	rx2, rtx2 := run()
+	if rx1 != rx2 || rtx1 != rtx2 {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", rx1, rtx1, rx2, rtx2)
+	}
+	if rx1 != 64*1024 {
+		t.Fatalf("rx = %d", rx1)
+	}
+}
+
+// TestStreamPropertyUnderRandomConditions: for arbitrary payload sizes and
+// loss rates, the byte stream is delivered exactly once, in order,
+// unmodified.
+func TestStreamPropertyUnderRandomConditions(t *testing.T) {
+	f := func(seed int64, sizeSel, lossSel uint8) bool {
+		size := 1 + int(sizeSel)*977       // up to ~250 KB
+		loss := float64(lossSel%8) * 0.012 // 0 .. 8.4%
+		env := sim.New(seed)
+		defer env.Close()
+		nt := netsim.New(env)
+		a := nt.AddNode(netsim.NodeConfig{Name: "a"})
+		b := nt.AddNode(netsim.NodeConfig{Name: "b"})
+		cfg := netsim.Ethernet("eth")
+		cfg.LossProb = loss
+		cfg.BgUtil = 0
+		nt.Connect(a, b, cfg)
+		nt.ComputeRoutes()
+		sa, sb := NewStack(a), NewStack(b)
+		payload := pattern(size)
+		l := sb.Listen(2049)
+		var got []byte
+		eof := false
+		env.Spawn("rx", func(p *sim.Proc) {
+			c, ok := l.Accept(p)
+			if !ok {
+				return
+			}
+			for {
+				bb, ok := c.Recv(p)
+				if !ok {
+					eof = true
+					return
+				}
+				got = append(got, bb...)
+			}
+		})
+		env.Spawn("tx", func(p *sim.Proc) {
+			c, err := sa.Dial(p, b.ID, 2049)
+			if err != nil {
+				return
+			}
+			c.Send(p, mbuf.FromBytes(payload))
+			c.Close()
+		})
+		env.Run(30 * time.Minute)
+		return eof && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

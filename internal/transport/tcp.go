@@ -1,0 +1,191 @@
+package transport
+
+import (
+	"fmt"
+
+	"renonfs/internal/mbuf"
+	"renonfs/internal/netsim"
+	"renonfs/internal/nfsproto"
+	"renonfs/internal/rpc"
+	"renonfs/internal/sim"
+	"renonfs/internal/tcpsim"
+	"renonfs/internal/xdr"
+)
+
+// TCP is the stream transport: one connection per mount, record marks
+// between messages, reliability delegated to TCP itself. If the connection
+// drops, the transport reconnects and re-sends every pending request (the
+// server's duplicate request cache absorbs any replays of non-idempotent
+// calls).
+type TCP struct {
+	env    *sim.Env
+	stack  *tcpsim.Stack
+	server netsim.NodeID
+	port   int
+	conn   *tcpsim.Conn
+
+	xid     uint32
+	pending map[uint32]*tcpPending
+	closed  bool
+	stats   Stats
+	// TraceProc mirrors UDPConfig.TraceProc.
+	TraceProc int
+}
+
+type tcpPending struct {
+	xid    uint32
+	prog   uint32
+	vers   uint32
+	proc   uint32
+	args   func(e *xdr.Encoder)
+	sentAt sim.Time
+	done   *sim.Event
+	reply  *xdr.Decoder
+	err    error
+}
+
+// NewTCP creates the transport and dials the server; it blocks the calling
+// process for the handshake.
+func NewTCP(p *sim.Proc, stack *tcpsim.Stack, server netsim.NodeID, port int) (*TCP, error) {
+	t := &TCP{
+		env:       stack.Node().Net().Env,
+		stack:     stack,
+		server:    server,
+		port:      port,
+		pending:   make(map[uint32]*tcpPending),
+		TraceProc: -1,
+	}
+	if err := t.connect(p); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *TCP) connect(p *sim.Proc) error {
+	conn, err := t.stack.Dial(p, t.server, t.port)
+	if err != nil {
+		return err
+	}
+	t.conn = conn
+	t.env.Spawn(fmt.Sprintf("%s.tcprpc-rx", t.stack.Node().Name), func(rp *sim.Proc) {
+		t.rxLoop(rp, conn)
+	})
+	return nil
+}
+
+// Stats returns transport counters.
+func (t *TCP) Stats() *Stats { return &t.stats }
+
+// Close tears the connection down.
+func (t *TCP) Close() {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	for _, pc := range t.pending {
+		pc.err = ErrClosed
+		pc.done.Set()
+	}
+	t.pending = make(map[uint32]*tcpPending)
+	if t.conn != nil {
+		t.conn.Close()
+	}
+}
+
+// Call implements Transport.
+func (t *TCP) Call(p *sim.Proc, proc uint32, args func(e *xdr.Encoder)) (*xdr.Decoder, error) {
+	return t.CallProgram(p, nfsproto.Program, nfsproto.Version, proc, args)
+}
+
+// CallProgram implements ProgramCaller (used by the MOUNT protocol).
+func (t *TCP) CallProgram(p *sim.Proc, prog, vers, proc uint32, args func(e *xdr.Encoder)) (*xdr.Decoder, error) {
+	if t.closed {
+		return nil, ErrClosed
+	}
+	t.xid++
+	pc := &tcpPending{
+		xid: t.xid, prog: prog, vers: vers, proc: proc, args: args,
+		sentAt: p.Now(), done: sim.NewEvent(t.env),
+	}
+	t.pending[pc.xid] = pc
+	t.stats.Calls++
+	t.stats.ByClass[ClassOf(proc)]++
+	if err := t.sendOne(p, pc); err != nil {
+		delete(t.pending, pc.xid)
+		t.stats.Failures++
+		return nil, err
+	}
+	pc.done.Wait(p)
+	delete(t.pending, pc.xid)
+	if pc.err != nil {
+		t.stats.Failures++
+		return nil, pc.err
+	}
+	return pc.reply, nil
+}
+
+func (t *TCP) sendOne(p *sim.Proc, pc *tcpPending) error {
+	msg := buildCall(pc.xid, pc.prog, pc.vers, pc.proc, pc.args)
+	rpc.AddRecordMark(msg)
+	return t.conn.Send(p, msg)
+}
+
+// rxLoop reassembles record-marked replies and matches them to callers.
+// On EOF it reconnects and replays everything pending.
+func (t *TCP) rxLoop(p *sim.Proc, conn *tcpsim.Conn) {
+	var scan rpc.RecordScanner
+	for {
+		b, ok := conn.Recv(p)
+		if !ok {
+			break
+		}
+		recs, err := scan.Feed(b)
+		if err != nil {
+			conn.Abort()
+			break
+		}
+		for _, rec := range recs {
+			msg := mbuf.FromBytes(rec)
+			xid, err := rpc.PeekXID(msg)
+			if err != nil {
+				continue
+			}
+			pc := t.pending[xid]
+			if pc == nil || pc.done.IsSet() {
+				continue
+			}
+			dec, err := decodeReply(msg)
+			if err != nil {
+				continue
+			}
+			if int(pc.proc) == t.TraceProc {
+				t.stats.Trace = append(t.stats.Trace, TracePoint{
+					At: p.Now(), Proc: pc.proc, RTT: p.Now() - pc.sentAt,
+				})
+			}
+			t.stats.Replies++
+			pc.reply = dec
+			pc.done.Set()
+		}
+	}
+	if t.closed {
+		return
+	}
+	// Connection lost: reconnect and replay pending requests.
+	if err := t.connect(p); err != nil {
+		for _, pc := range t.pending {
+			pc.err = err
+			pc.done.Set()
+		}
+		return
+	}
+	for _, pc := range t.pending {
+		if !pc.done.IsSet() {
+			t.stats.Retries++
+			if err := t.sendOne(p, pc); err != nil {
+				pc.err = err
+				pc.done.Set()
+			}
+		}
+	}
+}
