@@ -5,32 +5,46 @@
 //
 // Usage:
 //
-//	nfsd -udp 127.0.0.1:12049 -tcp 127.0.0.1:12049
+//	nfsd -udp 127.0.0.1:12049 -tcp 127.0.0.1:12049 -stats 127.0.0.1:12050
 //
 // The exported filesystem is in-memory and seeded with a small demo tree.
 // The root file handle is printed in hex; cmd/nfsstone and the quickstart
 // example show a client side.
+//
+// The -stats listener serves the live metrics registry (per-procedure call
+// counters and service-time histograms):
+//
+//	GET /stats       JSON snapshot (the cmd/nfsstat wire format)
+//	GET /stats.txt   the same snapshot as aligned text
+//
+// On ^C the server prints a per-procedure summary table before exiting.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 
 	"renonfs/internal/memfs"
+	"renonfs/internal/metrics"
 	"renonfs/internal/nfsnet"
+	"renonfs/internal/nfsproto"
 	"renonfs/internal/server"
+	"renonfs/internal/stats"
 )
 
 func main() {
 	var (
-		udpAddr = flag.String("udp", "127.0.0.1:12049", "UDP listen address")
-		tcpAddr = flag.String("tcp", "127.0.0.1:12049", "TCP listen address")
-		ultrix  = flag.Bool("ultrix", false, "serve with the Ultrix (reference-port) personality")
-		exports = flag.String("exports", "/,/etc,/home", "comma-separated export paths")
-		rdlook  = flag.Bool("readdirlook", true, "serve the readdir_and_lookup_files extension")
+		udpAddr   = flag.String("udp", "127.0.0.1:12049", "UDP listen address")
+		tcpAddr   = flag.String("tcp", "127.0.0.1:12049", "TCP listen address")
+		statsAddr = flag.String("stats", "127.0.0.1:12050", "stats HTTP listen address (empty disables)")
+		ultrix    = flag.Bool("ultrix", false, "serve with the Ultrix (reference-port) personality")
+		exports   = flag.String("exports", "/,/etc,/home", "comma-separated export paths")
+		rdlook    = flag.Bool("readdirlook", true, "serve the readdir_and_lookup_files extension")
 	)
 	flag.Parse()
 
@@ -61,11 +75,56 @@ func main() {
 	rootFH := srv.RootFH()
 	fmt.Printf("nfsd (%s personality) serving\n  udp %s\n  tcp %s\n  exports %s\n  root fh %x (or MNT \"/\" via the MOUNT protocol)\n",
 		opts.Name, s.UDPAddr(), s.TCPAddr(), *exports, rootFH[:12])
+	if *statsAddr != "" {
+		go serveStats(*statsAddr, srv.Metrics)
+		fmt.Printf("  stats http://%s/stats (poll with cmd/nfsstat)\n", *statsAddr)
+	}
 	fmt.Println("^C to stop")
 
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)
 	<-ch
-	fmt.Printf("\nserved %d calls (%d duplicate replays suppressed)\n",
-		srv.Stats.Total(), srv.Stats.DupHits)
+	fmt.Println()
+	printFinal(srv)
+}
+
+// serveStats exposes the registry over HTTP. Snapshots read atomics only,
+// so serving concurrently with request handling needs no locking.
+func serveStats(addr string, reg *metrics.Registry) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/stats.txt", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reg.Snapshot().WriteText(w)
+	})
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fmt.Fprintf(os.Stderr, "nfsd: stats endpoint: %v\n", err)
+	}
+}
+
+// printFinal renders the shutdown summary: one row per procedure that was
+// called, with its service-time distribution, then the totals.
+func printFinal(srv *server.Server) {
+	snap := srv.Metrics.Snapshot()
+	tb := stats.NewTable("per-procedure totals",
+		"proc", "calls", "svc mean ms", "p50", "p99", "max")
+	for proc := uint32(0); proc < nfsproto.NumProcsExt; proc++ {
+		n := srv.Stats.Calls[proc].Load()
+		if n == 0 {
+			continue
+		}
+		h := snap.Histograms["nfs.service_ms."+nfsproto.ProcName(proc)]
+		tb.AddRow(nfsproto.ProcName(proc), n,
+			fmt.Sprintf("%.3f", h.Mean()),
+			fmt.Sprintf("%.3f", h.Quantile(50)),
+			fmt.Sprintf("%.3f", h.Quantile(99)),
+			fmt.Sprintf("%.3f", h.Max))
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("totals: %d calls, %d errors, %d duplicate replays suppressed, %d bytes in, %d bytes out\n",
+		srv.Stats.Total(), srv.Stats.Errors.Load(), srv.Stats.DupHits.Load(),
+		srv.Stats.BytesIn.Load(), srv.Stats.BytesOut.Load())
 }

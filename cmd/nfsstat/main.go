@@ -1,0 +1,122 @@
+// Command nfsstat is the reproduction's equivalent of the 4.3BSD nfsstat
+// utility: it polls a running nfsd's stats endpoint and renders the
+// per-procedure call counts and service-time percentiles.
+//
+// Usage:
+//
+//	nfsstat                          one cumulative snapshot and exit
+//	nfsstat -i 1s                    re-render cumulative totals every second
+//	nfsstat -i 1s -z                 interval deltas (the classic `nfsstat -z`
+//	                                 zero-the-counters workflow, done client
+//	                                 side so concurrent observers don't fight)
+//	nfsstat -json                    dump the raw JSON snapshot
+//
+// The endpoint address must match nfsd's -stats flag.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"renonfs/internal/metrics"
+	"renonfs/internal/stats"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:12050", "nfsd stats endpoint (host:port)")
+		interval = flag.Duration("i", 0, "poll interval (0: print once and exit)")
+		count    = flag.Int("n", 0, "number of polls when -i is set (0: forever)")
+		zero     = flag.Bool("z", false, "show interval deltas instead of cumulative totals")
+		raw      = flag.Bool("json", false, "print the raw JSON snapshot")
+	)
+	flag.Parse()
+
+	var prev *metrics.Snapshot
+	for n := 0; ; n++ {
+		snap, err := fetch(*addr, *raw)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nfsstat: %v\n", err)
+			os.Exit(1)
+		}
+		if !*raw {
+			view := snap
+			if *zero {
+				view = snap.Delta(prev)
+				prev = snap
+			}
+			render(view, *zero && n > 0)
+		}
+		if *interval <= 0 || (*count > 0 && n+1 >= *count) {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// fetch GETs one snapshot; with raw it also echoes the body to stdout.
+func fetch(addr string, raw bool) (*metrics.Snapshot, error) {
+	resp, err := http.Get("http://" + addr + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("endpoint returned %s", resp.Status)
+	}
+	if raw {
+		os.Stdout.Write(body)
+		fmt.Println()
+	}
+	snap := &metrics.Snapshot{}
+	if err := json.Unmarshal(body, snap); err != nil {
+		return nil, fmt.Errorf("bad snapshot: %v", err)
+	}
+	return snap, nil
+}
+
+// render prints the per-procedure table (calls, errors via counters;
+// latency from the service-time histograms) plus the remaining counters.
+func render(snap *metrics.Snapshot, delta bool) {
+	title := "nfs server per-procedure (cumulative)"
+	if delta {
+		title = "nfs server per-procedure (interval delta)"
+	}
+	tb := stats.NewTable(title, "proc", "calls", "svc mean ms", "p50", "p95", "p99", "max")
+	procs := make([]string, 0, 8)
+	for name := range snap.Counters {
+		if p, ok := strings.CutPrefix(name, "nfs.calls."); ok {
+			procs = append(procs, p)
+		}
+	}
+	sort.Strings(procs)
+	for _, p := range procs {
+		calls := snap.Counters["nfs.calls."+p]
+		if calls == 0 {
+			continue
+		}
+		h := snap.Histograms["nfs.service_ms."+p]
+		tb.AddRow(p, calls,
+			fmt.Sprintf("%.3f", h.Mean()),
+			fmt.Sprintf("%.3f", h.Quantile(50)),
+			fmt.Sprintf("%.3f", h.Quantile(95)),
+			fmt.Sprintf("%.3f", h.Quantile(99)),
+			fmt.Sprintf("%.3f", h.Max))
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("calls %d  errors %d  dup hits %d  bytes in %d  bytes out %d\n\n",
+		snap.Counters["nfs.calls"], snap.Counters["nfs.errors"],
+		snap.Counters["nfs.dup_hits"], snap.Counters["nfs.bytes_in"],
+		snap.Counters["nfs.bytes_out"])
+}

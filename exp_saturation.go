@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"renonfs/internal/memfs"
+	"renonfs/internal/metrics"
 	"renonfs/internal/netsim"
 	"renonfs/internal/nfsproto"
 	"renonfs/internal/server"
@@ -26,7 +27,7 @@ func expSaturation(cfg ExpConfig) []*stats.Table {
 	}
 	const nClients = 4
 	t := stats.NewTable("Server characterization: 4 clients, full nhfsstone mix (Reno server)",
-		"offered/s", "achieved/s", "lookup RTT(ms)", "server CPU %", "disk util %")
+		"offered/s", "achieved/s", "lookup RTT(ms)", "lookup p99(ms)", "server CPU %", "disk util %")
 	for _, load := range loads {
 		env := sim.New(cfg.seed() + int64(load))
 		mt := netsim.BuildMulti(env, nClients, netsim.NodeConfig{}, netsim.NodeConfig{})
@@ -85,6 +86,7 @@ func expSaturation(cfg ExpConfig) []*stats.Table {
 		env.Run(cfg.warmup() + cfg.window() + 30*time.Minute)
 		achieved := 0.0
 		rtt := stats.NewSummary(0)
+		var lookupHist metrics.HistogramSnapshot
 		for _, res := range results {
 			if res == nil {
 				continue
@@ -93,8 +95,12 @@ func expSaturation(cfg ExpConfig) []*stats.Table {
 			if s := res.RTT[nfsproto.ProcLookup]; s != nil && s.Count > 0 {
 				rtt.Add(s.Mean())
 			}
+			if h := res.Hist[nfsproto.ProcLookup]; h != nil {
+				lookupHist = lookupHist.Add(h.Snapshot())
+			}
 		}
 		t.AddRow(load, fmt.Sprintf("%.1f", achieved), rtt.Mean(),
+			lookupHist.Quantile(99),
 			fmt.Sprintf("%.0f", cpuUtil*100),
 			fmt.Sprintf("%.0f", diskUtil*100))
 		env.Close()

@@ -151,19 +151,26 @@ func expGraphRTT(topo Topology, mix map[uint32]float64, probe uint32, loads []fl
 		}
 		kinds := []TransportKind{UDPFixed, UDPDynamic, TCP}
 		t := stats.NewTable(fmt.Sprintf("avg %s RTT (ms) vs offered load (RPC/s) — %v", nfsproto.ProcName(probe), topo),
-			"load", "udp-fixed", "udp-dyn", "tcp", "retries(fixed/dyn/tcp)")
+			"load", "udp-fixed", "udp-dyn", "tcp",
+			"p99(fixed)", "p99(dyn)", "p99(tcp)", "retries(fixed/dyn/tcp)")
 		for _, load := range pts {
 			row := []any{load}
+			// Tail latency from the log-bucket histograms: under loss the
+			// retransmitted calls live orders of magnitude past the mean.
+			p99 := []any{}
 			var retries [3]int
 			for i, k := range kinds {
 				res, _ := runNhfsstone(cfg, topo, k, mix, load, RigConfig{}, nil)
 				if res == nil || res.RTT[probe] == nil || res.RTT[probe].Count == 0 {
 					row = append(row, "-")
+					p99 = append(p99, "-")
 					continue
 				}
 				row = append(row, res.RTT[probe].Mean())
+				p99 = append(p99, res.Hist[probe].Quantile(99))
 				retries[i] = res.Retries
 			}
+			row = append(row, p99...)
 			row = append(row, fmt.Sprintf("%d/%d/%d", retries[0], retries[1], retries[2]))
 			t.AddRow(row...)
 		}

@@ -1,0 +1,219 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	s := h.Snapshot()
+	if s.Count != 0 || s.Mean() != 0 || s.Quantile(50) != 0 || s.Quantile(100) != 0 {
+		t.Fatalf("empty histogram not all-zero: %+v", s)
+	}
+	if s.Min != 0 || s.Max != 0 {
+		t.Fatalf("empty histogram min/max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(3.7)
+	s := h.Snapshot()
+	for _, p := range []float64{1, 50, 99, 100} {
+		// With one sample every percentile must clamp to the observation.
+		if got := s.Quantile(p); got != 3.7 {
+			t.Fatalf("p%v = %v, want 3.7", p, got)
+		}
+	}
+	if s.Mean() != 3.7 || s.Min != 3.7 || s.Max != 3.7 {
+		t.Fatalf("single-sample stats wrong: %+v", s)
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	h := NewHistogram()
+	// 100 samples spread across buckets: 1ms..100ms.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(100); got != 100 {
+		t.Fatalf("p100 = %v, want max 100", got)
+	}
+	p50 := s.Quantile(50)
+	// Log buckets are coarse (factor 2); the interpolated median must land
+	// within the surrounding bucket [32, 64].
+	if p50 < 32 || p50 > 64 {
+		t.Fatalf("p50 = %v, want within (32, 64]", p50)
+	}
+	p99 := s.Quantile(99)
+	if p99 < 64 || p99 > 100 {
+		t.Fatalf("p99 = %v, want within (64, 100]", p99)
+	}
+	if p50 >= p99 {
+		t.Fatalf("p50 %v >= p99 %v", p50, p99)
+	}
+	if math.Abs(s.Mean()-50.5) > 1e-9 {
+		t.Fatalf("mean = %v, want 50.5", s.Mean())
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0)    // below the first bound
+	h.Observe(1e12) // beyond the last bound: catch-all bucket
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Buckets[0] != 1 || s.Buckets[len(s.Buckets)-1] != 1 {
+		t.Fatalf("extreme values not in edge buckets: %v", s.Buckets)
+	}
+	if got := s.Quantile(100); got != 1e12 {
+		t.Fatalf("p100 = %v, want clamped max 1e12", got)
+	}
+}
+
+func TestHistogramDelta(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(5)
+	h.Observe(10)
+	first := h.Snapshot()
+	h.Observe(20)
+	h.Observe(40)
+	d := h.Snapshot().Sub(first)
+	if d.Count != 2 {
+		t.Fatalf("delta count = %d, want 2", d.Count)
+	}
+	if math.Abs(d.Sum-60) > 1e-9 {
+		t.Fatalf("delta sum = %v, want 60", d.Sum)
+	}
+	total := int64(0)
+	for _, c := range d.Buckets {
+		total += c
+	}
+	if total != 2 {
+		t.Fatalf("delta buckets sum to %d, want 2", total)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i%50) + 0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 8000 {
+		t.Fatalf("count = %d, want 8000", s.Count)
+	}
+	var inBuckets int64
+	for _, c := range s.Buckets {
+		inBuckets += c
+	}
+	if inBuckets != 8000 {
+		t.Fatalf("bucket sum = %d, want 8000", inBuckets)
+	}
+}
+
+func TestRegistrySnapshotDeltaAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("nfs.calls").Add(7)
+	r.Gauge("rpc.cwnd").Set(4.5)
+	r.Histogram("nfs.service_ms.lookup").Observe(2)
+	first := r.Snapshot()
+	r.Counter("nfs.calls").Add(3)
+	r.Histogram("nfs.service_ms.lookup").Observe(8)
+	second := r.Snapshot()
+
+	d := second.Delta(first)
+	if d.Counters["nfs.calls"] != 3 {
+		t.Fatalf("delta counter = %d, want 3", d.Counters["nfs.calls"])
+	}
+	if d.Histograms["nfs.service_ms.lookup"].Count != 1 {
+		t.Fatalf("delta hist count = %d, want 1", d.Histograms["nfs.service_ms.lookup"].Count)
+	}
+	if d.Gauges["rpc.cwnd"] != 4.5 {
+		t.Fatalf("delta gauge = %v, want current value", d.Gauges["rpc.cwnd"])
+	}
+
+	// The JSON round trip is the nfsstat wire format.
+	raw, err := json.Marshal(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["nfs.calls"] != 10 {
+		t.Fatalf("round-tripped counter = %d", back.Counters["nfs.calls"])
+	}
+	if got := back.Histograms["nfs.service_ms.lookup"].Quantile(100); got != 8 {
+		t.Fatalf("round-tripped p100 = %v, want 8", got)
+	}
+
+	var b bytes.Buffer
+	second.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{"nfs.calls", "rpc.cwnd", "nfs.service_ms.lookup", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text encoding missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsTracer(t *testing.T) {
+	r := NewRegistry()
+	tr := &MetricsTracer{R: r, ProcName: func(p uint32) string { return "lookup" }}
+	var m MultiTracer = []Tracer{tr, FuncTracer(func(Event) {})}
+	Emit(m, CallSent{Proc: 4, XID: 1})
+	Emit(m, Retransmit{Proc: 4, XID: 1, Backoff: 1, RTO: time.Second})
+	Emit(m, RTTSample{Proc: 4, Class: "lookup", RTT: 5 * time.Millisecond, SRTT: 4 * time.Millisecond, RTO: 20 * time.Millisecond})
+	Emit(m, CwndChange{Cwnd: 3})
+	Emit(m, FragDrop{Expired: 2})
+	Emit(m, Reply{Proc: 4, XID: 1, RTT: 6 * time.Millisecond})
+	Emit(m, DupCacheHit{Proc: 4})
+	Emit(m, ServerCall{Proc: 4, Service: time.Millisecond, Error: true})
+	Emit(m, ClientCall{Proc: 4, RTT: 7 * time.Millisecond})
+	Emit(nil, CallSent{}) // nil tracer must be a no-op, not a panic
+
+	s := r.Snapshot()
+	checks := map[string]int64{
+		"rpc.calls":        1,
+		"rpc.calls.lookup": 1,
+		"rpc.retransmits":  1,
+		"ip.frag_timeouts": 2,
+		"rpc.replies":      1,
+		"nfs.dup_hits":     1,
+		"nfs.calls.lookup": 1,
+		"nfs.errors":       1,
+	}
+	for name, want := range checks {
+		if got := s.Counters[name]; got != want {
+			t.Errorf("counter %s = %d, want %d", name, got, want)
+		}
+	}
+	if s.Gauges["rpc.cwnd"] != 3 {
+		t.Errorf("cwnd gauge = %v", s.Gauges["rpc.cwnd"])
+	}
+	if s.Histograms["nfs.service_ms.lookup"].Count != 1 {
+		t.Errorf("service histogram not recorded")
+	}
+	if s.Histograms["client.call_ms.lookup"].Count != 1 {
+		t.Errorf("client call histogram not recorded")
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"renonfs/internal/ipfrag"
 	"renonfs/internal/mbuf"
+	"renonfs/internal/metrics"
 	"renonfs/internal/sim"
 )
 
@@ -130,9 +131,10 @@ type portKey struct {
 // Net is a collection of nodes and links sharing one simulation
 // environment.
 type Net struct {
-	Env    *sim.Env
-	nodes  []*Node
-	tracer Tracer
+	Env        *sim.Env
+	nodes      []*Node
+	tracer     Tracer
+	fragTracer metrics.Tracer
 }
 
 // New returns an empty network bound to env.
@@ -160,6 +162,7 @@ func (nt *Net) AddNode(cfg NodeConfig) *Node {
 		ports:   make(map[portKey]*sim.Queue[*Datagram]),
 		profile: make(map[string]sim.Time),
 	}
+	n.reasm.Tracer = nt.fragTracer
 	nt.nodes = append(nt.nodes, n)
 	nt.Env.Spawn(cfg.Name+".softnet", n.softnet)
 	return n

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"renonfs/internal/metrics"
 	"renonfs/internal/sim"
 )
 
@@ -88,6 +89,16 @@ func (t *CollectTracer) Packet(ev TraceEvent) { t.Events = append(t.Events, ev) 
 // SetTracer installs a packet tracer on every node and link of the
 // network (nil uninstalls). Install before traffic starts.
 func (nt *Net) SetTracer(tr Tracer) { nt.tracer = tr }
+
+// SetFragTracer installs an RPC lifecycle tracer on every node's IP
+// reassembler (existing and future), surfacing reassembly-timeout drops
+// as FragDrop events. Nil uninstalls.
+func (nt *Net) SetFragTracer(tr metrics.Tracer) {
+	nt.fragTracer = tr
+	for _, n := range nt.nodes {
+		n.reasm.Tracer = tr
+	}
+}
 
 // trace emits an event if a tracer is installed.
 func (nt *Net) trace(at sim.Time, where string, kind TraceKind, pk *packet) {

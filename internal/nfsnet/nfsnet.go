@@ -60,6 +60,11 @@ func Serve(srv *server.Server, udpAddr, tcpAddr string) (*Server, error) {
 	return s, nil
 }
 
+// Core returns the server core behind the sockets. Its Stats and Metrics
+// are atomic, so callers (the nfsd stats endpoint, tests) may read them
+// concurrently with request handling, without the kernel lock.
+func (s *Server) Core() *server.Server { return s.srv }
+
 // UDPAddr returns the bound UDP address.
 func (s *Server) UDPAddr() string { return s.udp.LocalAddr().String() }
 

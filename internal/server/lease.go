@@ -96,7 +96,8 @@ func (s *Server) sendEviction(p *sim.Proc, to holderAddr, fh nfsproto.FH) {
 	e.PutUint32(nfsproto.EvictionMagic)
 	e.PutFixedOpaque(fh[:])
 	s.cbSock.Send(p, to.node, to.port, c)
-	s.Stats.Evictions++
+	s.Stats.Evictions.Add(1)
+	s.Metrics.Counter("nfs.lease_evictions").Add(1)
 }
 
 // evictHolders notifies every current holder and marks the lease as being

@@ -16,10 +16,12 @@ package server
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"renonfs/internal/mbuf"
 	"renonfs/internal/memfs"
+	"renonfs/internal/metrics"
 	"renonfs/internal/netsim"
 	"renonfs/internal/nfsproto"
 	"renonfs/internal/rpc"
@@ -93,21 +95,24 @@ func Ultrix() Options {
 	}
 }
 
-// Stats counts server activity.
+// Stats counts server activity. The fields are atomics so that the
+// real-socket frontends (which serve each connection on its own goroutine)
+// can record calls without holding the nfsnet kernel lock, and so readers
+// like the nfsd stats endpoint can snapshot them concurrently.
 type Stats struct {
-	Calls     [nfsproto.NumProcsExt]int
-	Errors    int
-	DupHits   int
-	BytesIn   int
-	BytesOut  int
-	Evictions int // lease eviction notices sent
+	Calls     [nfsproto.NumProcsExt]atomic.Int64
+	Errors    atomic.Int64
+	DupHits   atomic.Int64
+	BytesIn   atomic.Int64
+	BytesOut  atomic.Int64
+	Evictions atomic.Int64 // lease eviction notices sent
 }
 
 // Total returns the total call count.
-func (s *Stats) Total() int {
-	n := 0
-	for _, c := range s.Calls {
-		n += c
+func (s *Stats) Total() int64 {
+	var n int64
+	for i := range s.Calls {
+		n += s.Calls[i].Load()
 	}
 	return n
 }
@@ -121,6 +126,17 @@ type Server struct {
 	namec *vfs.NameCache
 	dupc  *dupCache
 	Stats Stats
+
+	// Metrics is the server's registry: per-procedure service-time
+	// histograms plus call/byte counters, safe to snapshot concurrently
+	// (the nfsd stats endpoint and nfsstat read it live).
+	Metrics *metrics.Registry
+	// Tracer, when set, receives ServerCall and DupCacheHit lifecycle
+	// events for every RPC handled.
+	Tracer metrics.Tracer
+	// epoch anchors wall-clock service-time measurement when the server
+	// runs over real sockets (no simulator process to ask for time).
+	epoch time.Time
 
 	// Lease extension state (lease.go).
 	leaseTab map[nfsproto.FH]*leaseState
@@ -173,11 +189,13 @@ func New(fs *memfs.FS, opts Options) *Server {
 		opts.NFSDs = 4
 	}
 	s := &Server{
-		FS:    fs,
-		Opts:  opts,
-		bufc:  vfs.NewBufCache(opts.CacheBufs, opts.ChainedBufs),
-		namec: vfs.NewNameCache(),
-		dupc:  newDupCache(opts.DupCacheSize),
+		FS:      fs,
+		Opts:    opts,
+		bufc:    vfs.NewBufCache(opts.CacheBufs, opts.ChainedBufs),
+		namec:   vfs.NewNameCache(),
+		dupc:    newDupCache(opts.DupCacheSize),
+		Metrics: metrics.NewRegistry(),
+		epoch:   time.Now(),
 	}
 	s.namec.Enabled = opts.NameCache
 	return s
@@ -198,6 +216,21 @@ func (s *Server) BufCacheStats() vfs.CacheStats { return s.bufc.Stats }
 
 // RootFH returns the exported root file handle.
 func (s *Server) RootFH() nfsproto.FH { return s.FS.FH(s.FS.Root()) }
+
+// countErr records one NFS-level failure in both counter surfaces.
+func (s *Server) countErr() {
+	s.Stats.Errors.Add(1)
+	s.Metrics.Counter("nfs.errors").Add(1)
+}
+
+// svcNow reads the clock used for service-time measurement: virtual time
+// under the simulator, wall clock when serving real sockets (p == nil).
+func (s *Server) svcNow(p *sim.Proc) time.Duration {
+	if p != nil {
+		return time.Duration(p.Now())
+	}
+	return time.Since(s.epoch)
+}
 
 // charge bills CPU when attached to a simulated node.
 func (s *Server) charge(p *sim.Proc, bucket string, us float64) {
@@ -250,7 +283,8 @@ func errStatus(err error) nfsproto.Status {
 // message (nil for undecodable garbage, which real servers also drop).
 // peer identifies the caller for duplicate-request caching.
 func (s *Server) HandleCall(p *sim.Proc, peer string, req *mbuf.Chain) *mbuf.Chain {
-	s.Stats.BytesIn += req.Len()
+	s.Stats.BytesIn.Add(int64(req.Len()))
+	s.Metrics.Counter("nfs.bytes_in").Add(int64(req.Len()))
 	reqLen := req.Len()
 	d := xdr.NewDecoder(req)
 	call, err := rpc.DecodeCall(d)
@@ -266,7 +300,8 @@ func (s *Server) HandleCall(p *sim.Proc, peer string, req *mbuf.Chain) *mbuf.Cha
 			out = &mbuf.Chain{}
 			rpc.EncodeReply(out, call.XID, rpc.GarbageArgs)
 		}
-		s.Stats.BytesOut += out.Len()
+		s.Stats.BytesOut.Add(int64(out.Len()))
+		s.Metrics.Counter("nfs.bytes_out").Add(int64(out.Len()))
 		return out
 	}
 	unavailable := call.Proc >= nfsproto.NumProcsExt ||
@@ -290,27 +325,40 @@ func (s *Server) HandleCall(p *sim.Proc, peer string, req *mbuf.Chain) *mbuf.Cha
 	dkey := fmt.Sprintf("%s/%d/%d", peer, call.XID, call.Proc)
 	if nonIdempotent[call.Proc] {
 		if cached := s.dupc.get(dkey); cached != nil {
-			s.Stats.DupHits++
+			s.Stats.DupHits.Add(1)
+			s.Metrics.Counter("nfs.dup_hits").Add(1)
+			metrics.Emit(s.Tracer, metrics.DupCacheHit{Proc: call.Proc})
 			return cached.Clone()
 		}
 	}
-	s.Stats.Calls[call.Proc]++
+	s.Stats.Calls[call.Proc].Add(1)
+	procName := nfsproto.ProcName(call.Proc)
+	s.Metrics.Counter("nfs.calls").Add(1)
+	s.Metrics.Counter("nfs.calls." + procName).Add(1)
+	begin := s.svcNow(p)
 
 	out := &mbuf.Chain{}
 	e := xdr.NewEncoder(out)
 	rpc.EncodeReply(out, call.XID, rpc.Success)
-	if err := s.dispatch(p, call.Proc, peer, d, e); err != nil {
+	err = s.dispatch(p, call.Proc, peer, d, e)
+	if err != nil {
 		// Argument decode failure: garbage args.
 		out = &mbuf.Chain{}
 		rpc.EncodeReply(out, call.XID, rpc.GarbageArgs)
 	}
+	// Service time spans decode through dispatch: simulated CPU charges and
+	// disk sleeps under the simulator, real elapsed time over sockets.
+	svc := s.svcNow(p) - begin
+	s.Metrics.Histogram("nfs.service_ms." + procName).ObserveDuration(svc)
+	metrics.Emit(s.Tracer, metrics.ServerCall{Proc: call.Proc, Service: svc, Error: err != nil})
 	if s.Opts.XDRCopyLayer {
 		s.charge(p, "xdr_layer", costXDRByte*float64(out.Len()))
 	}
 	if nonIdempotent[call.Proc] {
 		s.dupc.put(dkey, out.Clone())
 	}
-	s.Stats.BytesOut += out.Len()
+	s.Stats.BytesOut.Add(int64(out.Len()))
+	s.Metrics.Counter("nfs.bytes_out").Add(int64(out.Len()))
 	return out
 }
 
@@ -461,7 +509,7 @@ func (s *Server) lookup(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder
 		if err == memfs.ErrNoEnt {
 			s.namec.EnterNegative(dir.Ino, dir.Gen, args.Name)
 		}
-		s.Stats.Errors++
+		s.countErr()
 		(&nfsproto.DiropRes{Status: errStatus(err)}).Encode(e)
 		return nil
 	}
@@ -626,7 +674,7 @@ func (s *Server) create(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
 		n, err = s.FS.Lookup(dir, args.Where.Name)
 	}
 	if err != nil {
-		s.Stats.Errors++
+		s.countErr()
 		(&nfsproto.DiropRes{Status: errStatus(err)}).Encode(e)
 		return nil
 	}
@@ -658,7 +706,7 @@ func (s *Server) remove(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
 		rerr = s.FS.Remove(p, dir, args.Name)
 	}
 	if rerr != nil {
-		s.Stats.Errors++
+		s.countErr()
 	}
 	(&nfsproto.StatusRes{Status: errStatus(rerr)}).Encode(e)
 	return nil
@@ -688,7 +736,7 @@ func (s *Server) rename(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
 		rerr = s.FS.Rename(p, from, args.From.Name, to, args.To.Name)
 	}
 	if rerr != nil {
-		s.Stats.Errors++
+		s.countErr()
 	}
 	(&nfsproto.StatusRes{Status: errStatus(rerr)}).Encode(e)
 	return nil
@@ -716,7 +764,7 @@ func (s *Server) link(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
 		}
 	}
 	if rerr != nil {
-		s.Stats.Errors++
+		s.countErr()
 	}
 	(&nfsproto.StatusRes{Status: errStatus(rerr)}).Encode(e)
 	return nil
@@ -738,7 +786,7 @@ func (s *Server) symlink(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
 		_, rerr = s.FS.Symlink(p, dir, args.From.Name, args.To, mode)
 	}
 	if rerr != nil {
-		s.Stats.Errors++
+		s.countErr()
 	}
 	(&nfsproto.StatusRes{Status: errStatus(rerr)}).Encode(e)
 	return nil
@@ -762,7 +810,7 @@ func (s *Server) mkdir(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
 	}
 	n, rerr := s.FS.Mkdir(p, dir, args.Where.Name, mode)
 	if rerr != nil {
-		s.Stats.Errors++
+		s.countErr()
 		(&nfsproto.DiropRes{Status: errStatus(rerr)}).Encode(e)
 		return nil
 	}
@@ -789,7 +837,7 @@ func (s *Server) rmdir(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
 		rerr = s.FS.Rmdir(p, dir, args.Name)
 	}
 	if rerr != nil {
-		s.Stats.Errors++
+		s.countErr()
 	}
 	(&nfsproto.StatusRes{Status: errStatus(rerr)}).Encode(e)
 	return nil

@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"strings"
 	"time"
@@ -19,12 +20,18 @@ type Summary struct {
 	Max     float64
 	samples []float64
 	cap     int
+	rng     *rand.Rand
 }
 
 // NewSummary returns a summary retaining up to capacity samples for
 // percentile queries (0 keeps everything).
 func NewSummary(capacity int) *Summary {
-	return &Summary{Min: math.Inf(1), Max: math.Inf(-1), cap: capacity}
+	// The reservoir RNG is seeded with a fixed constant so experiment runs
+	// stay reproducible; independence between summaries is irrelevant here.
+	return &Summary{
+		Min: math.Inf(1), Max: math.Inf(-1), cap: capacity,
+		rng: rand.New(rand.NewSource(0x4e4653)),
+	}
 }
 
 // Add folds in one observation.
@@ -39,10 +46,19 @@ func (s *Summary) Add(v float64) {
 	}
 	if s.cap == 0 || len(s.samples) < s.cap {
 		s.samples = append(s.samples, v)
-	} else {
-		// Reservoir-style replacement keeps percentiles representative.
-		i := s.Count % len(s.samples)
-		s.samples[i] = v
+		return
+	}
+	// Vitter's Algorithm R: keep the n-th observation with probability
+	// cap/n, evicting a uniformly random resident. Every observation ends
+	// up retained with equal probability cap/n, so the percentile queries
+	// see an unbiased sample of the whole stream. (The previous
+	// Count%len(samples) replacement was deterministic and overweighted the
+	// tail of the stream.)
+	if s.rng == nil { // zero-value Summary, not via NewSummary
+		s.rng = rand.New(rand.NewSource(0x4e4653))
+	}
+	if j := s.rng.Intn(s.Count); j < len(s.samples) {
+		s.samples[j] = v
 	}
 }
 

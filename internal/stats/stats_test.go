@@ -45,6 +45,71 @@ func TestSummaryReservoirBounded(t *testing.T) {
 	}
 }
 
+func TestSummarySingleSample(t *testing.T) {
+	s := NewSummary(8)
+	s.Add(3.7)
+	for _, p := range []float64{1, 50, 99, 100} {
+		if got := s.Percentile(p); got != 3.7 {
+			t.Fatalf("p%v = %v, want 3.7", p, got)
+		}
+	}
+	if s.Min != 3.7 || s.Max != 3.7 || s.Mean() != 3.7 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestSummaryReservoirUnbiased(t *testing.T) {
+	// Feed a stream whose first half is 0 and second half is 1. An
+	// unbiased reservoir retains roughly half of each; the old
+	// Count%len(samples) replacement kept only the tail of the stream.
+	s := NewSummary(100)
+	for i := 0; i < 10000; i++ {
+		v := 0.0
+		if i >= 5000 {
+			v = 1.0
+		}
+		s.Add(v)
+	}
+	ones := 0
+	for _, v := range s.samples {
+		if v == 1.0 {
+			ones++
+		}
+	}
+	// Binomial(100, 0.5): outside [20, 80] is astronomically unlikely.
+	if ones < 20 || ones > 80 {
+		t.Fatalf("reservoir kept %d/100 tail samples, want ~50", ones)
+	}
+}
+
+func TestSummaryReservoirDeterministic(t *testing.T) {
+	run := func() []float64 {
+		s := NewSummary(16)
+		for i := 0; i < 1000; i++ {
+			s.Add(float64(i))
+		}
+		return append([]float64(nil), s.samples...)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSummaryZeroValue(t *testing.T) {
+	// A zero-value Summary (not via NewSummary) with a capacity set by
+	// hand must not crash when the reservoir overflows.
+	s := Summary{cap: 4}
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i))
+	}
+	if len(s.samples) != 4 || s.Count != 100 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
 func TestAddDuration(t *testing.T) {
 	s := NewSummary(0)
 	s.AddDuration(250 * time.Millisecond)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"renonfs/internal/mbuf"
+	"renonfs/internal/metrics"
 	"renonfs/internal/netsim"
 	"renonfs/internal/nfsproto"
 	"renonfs/internal/rpc"
@@ -30,6 +31,9 @@ type TCP struct {
 	stats   Stats
 	// TraceProc mirrors UDPConfig.TraceProc.
 	TraceProc int
+	// Tracer mirrors UDPConfig.Tracer: typed RPC lifecycle events (calls,
+	// replies, replays after a reconnect).
+	Tracer metrics.Tracer
 }
 
 type tcpPending struct {
@@ -110,6 +114,7 @@ func (t *TCP) CallProgram(p *sim.Proc, prog, vers, proc uint32, args func(e *xdr
 	t.pending[pc.xid] = pc
 	t.stats.Calls++
 	t.stats.ByClass[ClassOf(proc)]++
+	metrics.Emit(t.Tracer, metrics.CallSent{Proc: proc, XID: pc.xid})
 	if err := t.sendOne(p, pc); err != nil {
 		delete(t.pending, pc.xid)
 		t.stats.Failures++
@@ -164,6 +169,7 @@ func (t *TCP) rxLoop(p *sim.Proc, conn *tcpsim.Conn) {
 				})
 			}
 			t.stats.Replies++
+			metrics.Emit(t.Tracer, metrics.Reply{Proc: pc.proc, XID: xid, RTT: p.Now() - pc.sentAt})
 			pc.reply = dec
 			pc.done.Set()
 		}
@@ -182,6 +188,7 @@ func (t *TCP) rxLoop(p *sim.Proc, conn *tcpsim.Conn) {
 	for _, pc := range t.pending {
 		if !pc.done.IsSet() {
 			t.stats.Retries++
+			metrics.Emit(t.Tracer, metrics.Retransmit{Proc: pc.proc, XID: pc.xid, Backoff: 1})
 			if err := t.sendOne(p, pc); err != nil {
 				pc.err = err
 				pc.done.Set()

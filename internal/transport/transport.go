@@ -141,6 +141,14 @@ func (e *estimator) sample(rtt sim.Time) {
 	e.rttvar += (delta - e.rttvar) / 4
 }
 
+// sampleTraced folds in one measurement and returns the estimator's new
+// state (smoothed RTT and the RTO it now implies) so callers can emit an
+// RTTSample lifecycle event without re-deriving it.
+func (e *estimator) sampleTraced(rtt, def, min, max sim.Time) (srtt, rto sim.Time) {
+	e.sample(rtt)
+	return e.srtt, e.rto(def, min, max)
+}
+
 // rto returns A + factor*D, or def before any sample, clamped.
 func (e *estimator) rto(def, min, max sim.Time) sim.Time {
 	r := def

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"renonfs/internal/metrics"
 	"renonfs/internal/netsim"
 	"renonfs/internal/nfsproto"
 	"renonfs/internal/rpc"
@@ -40,6 +41,9 @@ type UDPConfig struct {
 	// TraceProc records TracePoints for this procedure (e.g. ProcRead for
 	// Graph 7); negative disables tracing.
 	TraceProc int
+	// Tracer, when set, receives typed RPC lifecycle events (call sent,
+	// retransmit, RTT sample with the new SRTT/RTO, cwnd changes, reply).
+	Tracer metrics.Tracer
 }
 
 // FixedUDP returns the classic configuration.
@@ -204,6 +208,7 @@ func (t *UDP) CallProgram(p *sim.Proc, prog, vers, proc uint32, args func(e *xdr
 	class := ClassOf(proc)
 	t.stats.Calls++
 	t.stats.ByClass[class]++
+	metrics.Emit(t.cfg.Tracer, metrics.CallSent{Proc: proc, XID: xid})
 	pc := &udpPending{
 		xid:    xid,
 		class:  class,
@@ -270,7 +275,11 @@ func (t *UDP) rxLoop(p *sim.Proc) {
 			if !pc.retried {
 				switch pc.class {
 				case ClassGetattr, ClassLookup, ClassRead, ClassWrite:
-					t.est[pc.class].sample(rtt)
+					srtt, newRTO := t.est[pc.class].sampleTraced(rtt, t.cfg.Timeo, MinRTO, MaxRTO)
+					metrics.Emit(t.cfg.Tracer, metrics.RTTSample{
+						Proc: dgProc(t, xid), Class: pc.class.String(),
+						RTT: rtt, SRTT: srtt, RTO: newRTO,
+					})
 				}
 			}
 			// Congestion window opens by one request per window's worth of
@@ -283,6 +292,7 @@ func (t *UDP) rxLoop(p *sim.Proc) {
 			if t.cwnd > t.cfg.CwndMax {
 				t.cwnd = t.cfg.CwndMax
 			}
+			metrics.Emit(t.cfg.Tracer, metrics.CwndChange{Cwnd: t.cwnd})
 			t.waiters.Broadcast()
 		}
 		if int(dgProc(t, xid)) == t.cfg.TraceProc {
@@ -291,6 +301,7 @@ func (t *UDP) rxLoop(p *sim.Proc) {
 			})
 		}
 		t.stats.Replies++
+		metrics.Emit(t.cfg.Tracer, metrics.Reply{Proc: dgProc(t, xid), XID: xid, RTT: rtt})
 		pc.reply = dec
 		pc.done.Set()
 	}
@@ -346,8 +357,20 @@ func (t *UDP) timerLoop(p *sim.Proc) {
 				if t.cwnd < 1 {
 					t.cwnd = 1
 				}
+				metrics.Emit(t.cfg.Tracer, metrics.CwndChange{Cwnd: t.cwnd})
 			}
 			t.send(p, pc)
+			proc := dgProc(t, pc.xid)
+			metrics.Emit(t.cfg.Tracer, metrics.Retransmit{
+				Proc: proc, XID: pc.xid, Backoff: pc.backoff, RTO: pc.rtoAtTx,
+			})
+			if pc.backoff > 1 {
+				// The exponential timer backoff only bites from the second
+				// retransmission on (backoff 1 retransmits at the base RTO).
+				metrics.Emit(t.cfg.Tracer, metrics.RTOBackoff{
+					Proc: proc, Backoff: pc.backoff, RTO: pc.rtoAtTx,
+				})
+			}
 		}
 	}
 }

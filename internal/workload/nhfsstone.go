@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"renonfs/internal/metrics"
 	"renonfs/internal/nfsproto"
 	"renonfs/internal/sim"
 	"renonfs/internal/stats"
@@ -76,6 +77,10 @@ func FullMix() map[uint32]float64 {
 type NhfsstoneResult struct {
 	// RTT per procedure, milliseconds.
 	RTT map[uint32]*stats.Summary
+	// Hist per procedure: the same RTTs in log-bucket histograms, whose
+	// interpolated tail quantiles (p99) do not depend on reservoir luck
+	// the way the Summary's sampled percentiles do.
+	Hist map[uint32]*metrics.Histogram
 	// Achieved is the measured aggregate call rate.
 	Achieved float64
 	// Rate per procedure (the paper's Table 1 reports read rates).
@@ -207,6 +212,7 @@ func (n *Nhfsstone) Run(p *sim.Proc) *NhfsstoneResult {
 	env := p.Env()
 	res := &NhfsstoneResult{
 		RTT:      make(map[uint32]*stats.Summary),
+		Hist:     make(map[uint32]*metrics.Histogram),
 		ProcRate: make(map[uint32]float64),
 	}
 	n.result = res
@@ -228,6 +234,7 @@ func (n *Nhfsstone) Run(p *sim.Proc) *NhfsstoneResult {
 		acc += n.Cfg.Mix[proc]
 		cum = append(cum, acc)
 		res.RTT[proc] = stats.NewSummary(4096)
+		res.Hist[proc] = metrics.NewHistogram()
 	}
 	measuring := false
 	counts := make(map[uint32]int)
@@ -260,7 +267,9 @@ func (n *Nhfsstone) Run(p *sim.Proc) *NhfsstoneResult {
 					continue
 				}
 				if measuring {
-					res.RTT[proc].AddDuration(lp.Now() - start)
+					rtt := lp.Now() - start
+					res.RTT[proc].AddDuration(rtt)
+					res.Hist[proc].ObserveDuration(rtt)
 					counts[proc]++
 				}
 			}

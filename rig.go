@@ -22,6 +22,7 @@ import (
 
 	"renonfs/internal/client"
 	"renonfs/internal/memfs"
+	"renonfs/internal/metrics"
 	"renonfs/internal/netsim"
 	"renonfs/internal/nfsproto"
 	"renonfs/internal/server"
@@ -90,10 +91,16 @@ type RigConfig struct {
 // Rig is a built testbed: simulated network, NFS server (serving both UDP
 // and TCP), and factories for transports and client mounts.
 type Rig struct {
-	Env     *sim.Env
-	Net     *netsim.Testbed
-	Server  *server.Server
-	FS      *memfs.FS
+	Env    *sim.Env
+	Net    *netsim.Testbed
+	Server *server.Server
+	FS     *memfs.FS
+	// Metrics aggregates RPC lifecycle events from every transport the rig
+	// dials, the server core, and the IP reassemblers: rpc.* counters and
+	// latency histograms, nfs.* server-side counters and service times,
+	// ip.frag_timeouts. Snapshot it (or Snapshot().Delta(prev)) to read.
+	Metrics *metrics.Registry
+	tracer  metrics.Tracer
 	nextUDP int
 }
 
@@ -127,7 +134,14 @@ func NewRig(cfg RigConfig) *Rig {
 	srv.AttachNode(tb.Server)
 	srv.ServeUDP(server.NFSPort)
 	srv.ServeTCP(tcpsim.NewStack(tb.Server), server.NFSPort)
-	return &Rig{Env: env, Net: tb, Server: srv, FS: fs, nextUDP: 1000}
+	// One registry observes the whole testbed: the server's own registry
+	// doubles as the rig-wide one, and a MetricsTracer folds the lifecycle
+	// events from transports and reassemblers into it.
+	tracer := &metrics.MetricsTracer{R: srv.Metrics, ProcName: nfsproto.ProcName}
+	srv.Tracer = tracer
+	tb.Net.SetFragTracer(tracer)
+	return &Rig{Env: env, Net: tb, Server: srv, FS: fs,
+		Metrics: srv.Metrics, tracer: tracer, nextUDP: 1000}
 }
 
 // DialTransport creates a transport of the given kind from the client
@@ -136,21 +150,33 @@ func NewRig(cfg RigConfig) *Rig {
 func (r *Rig) DialTransport(p *sim.Proc, kind TransportKind) (transport.Transport, error) {
 	switch kind {
 	case UDPFixed:
+		cfg := transport.FixedUDP()
+		cfg.Tracer = r.tracer
 		r.nextUDP++
-		return transport.NewUDP(r.Net.Client, r.nextUDP, r.Net.Server.ID, server.NFSPort, transport.FixedUDP()), nil
+		return transport.NewUDP(r.Net.Client, r.nextUDP, r.Net.Server.ID, server.NFSPort, cfg), nil
 	case UDPDynamic:
+		cfg := transport.DynamicUDP()
+		cfg.Tracer = r.tracer
 		r.nextUDP++
-		return transport.NewUDP(r.Net.Client, r.nextUDP, r.Net.Server.ID, server.NFSPort, transport.DynamicUDP()), nil
+		return transport.NewUDP(r.Net.Client, r.nextUDP, r.Net.Server.ID, server.NFSPort, cfg), nil
 	case TCP:
-		return transport.NewTCP(p, tcpsim.NewStack(r.Net.Client), r.Net.Server.ID, server.NFSPort)
+		t, err := transport.NewTCP(p, tcpsim.NewStack(r.Net.Client), r.Net.Server.ID, server.NFSPort)
+		if t != nil {
+			t.Tracer = r.tracer
+		}
+		return t, err
 	default:
 		panic("renonfs: unknown transport kind")
 	}
 }
 
 // DialUDPConfig creates a UDP transport with an explicit configuration
-// (for the ablation experiments).
+// (for the ablation experiments). The rig tracer is installed unless the
+// config brings its own.
 func (r *Rig) DialUDPConfig(cfg transport.UDPConfig) *transport.UDP {
+	if cfg.Tracer == nil {
+		cfg.Tracer = r.tracer
+	}
 	r.nextUDP++
 	return transport.NewUDP(r.Net.Client, r.nextUDP, r.Net.Server.ID, server.NFSPort, cfg)
 }
