@@ -1,0 +1,33 @@
+# Developer entry points. CI runs the same commands (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: build test race chaos fuzz-smoke vet bench
+
+build:
+	$(GO) build ./...
+
+# Fast tier: every package's unit/integration tests plus a 2-seed chaos
+# smoke (the -short sweep).
+test:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# Full chaos tier: the complete seed x transport x topology sweep
+# (>= 100 combinations) with invariant auditing, plus determinism replays.
+# A failure prints the fault schedule and the exact one-command repro.
+chaos:
+	$(GO) test -race -run 'TestChaos' -v .
+
+# 30-second native-fuzz smoke over the two network-facing decoders.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzRPCDecode -fuzztime=30s ./internal/rpc
+	$(GO) test -fuzz=FuzzXDRDecode -fuzztime=30s ./internal/xdr
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime 1x ./...

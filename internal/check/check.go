@@ -1,0 +1,242 @@
+// Package check audits protocol invariants from the RPC lifecycle event
+// stream. An Auditor fans in events from every transport and the server
+// (each tagged with a source name, since XIDs are only unique per
+// transport) and checks, online, the properties chaos runs must preserve:
+//
+//   - every call resolves exactly once (a reply or a failure, never both,
+//     never neither — "no RPC stuck forever");
+//   - replies and retransmissions refer to calls that exist and are still
+//     outstanding;
+//   - round-trip and service times never run backwards;
+//   - no lease is granted during the server's crash-recovery window, and
+//     no conflicting leases coexist (one writer XOR many readers).
+//
+// Finish audits the end-of-run state: unresolved calls and the
+// sent = replies + failures + outstanding conservation equation.
+// Violations carry enough detail to debug from a seed sweep's output.
+package check
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"renonfs/internal/metrics"
+)
+
+// Violation is one invariant breach.
+type Violation struct {
+	At     time.Duration
+	Source string
+	Rule   string
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%v %s [%s]: %s", v.At, v.Source, v.Rule, v.Detail)
+}
+
+// maxViolations bounds the stored list; counts keep accumulating past it.
+const maxViolations = 100
+
+type callState struct {
+	proc     uint32
+	sentAt   time.Duration
+	resolved bool
+}
+
+type sourceState struct {
+	calls    map[uint32]*callState
+	sent     int
+	replies  int
+	failures int
+}
+
+type leaseHolder struct {
+	write  bool
+	expiry time.Duration
+}
+
+// Auditor accumulates events and checks invariants. It is safe for
+// concurrent use (the real-socket frontends emit from many goroutines).
+type Auditor struct {
+	mu      sync.Mutex
+	now     func() time.Duration
+	sources map[string]*sourceState
+	// leases tracks the auditor's view of granted leases: file -> peer.
+	leases        map[string]map[string]leaseHolder
+	recoveryUntil time.Duration
+	inRecovery    bool
+	violations    []Violation
+	counts        map[string]int
+}
+
+// New creates an auditor reading time from now (the simulation clock in
+// chaos runs, wall clock over real sockets).
+func New(now func() time.Duration) *Auditor {
+	return &Auditor{
+		now:     now,
+		sources: make(map[string]*sourceState),
+		leases:  make(map[string]map[string]leaseHolder),
+		counts:  make(map[string]int),
+	}
+}
+
+// Tracer returns a metrics.Tracer that feeds this auditor, tagging every
+// event with source. Use one per transport (XIDs are per-transport) and
+// one for the server.
+func (a *Auditor) Tracer(source string) metrics.Tracer {
+	return metrics.FuncTracer(func(ev metrics.Event) { a.observe(source, ev) })
+}
+
+func (a *Auditor) violate(source, rule, detail string) {
+	a.counts["violation."+rule]++
+	if len(a.violations) < maxViolations {
+		a.violations = append(a.violations, Violation{
+			At: a.now(), Source: source, Rule: rule, Detail: detail,
+		})
+	}
+}
+
+func (a *Auditor) src(source string) *sourceState {
+	st := a.sources[source]
+	if st == nil {
+		st = &sourceState{calls: make(map[uint32]*callState)}
+		a.sources[source] = st
+	}
+	return st
+}
+
+func (a *Auditor) observe(source string, ev metrics.Event) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.counts["event."+ev.Kind()]++
+	now := a.now()
+	switch e := ev.(type) {
+	case metrics.CallSent:
+		st := a.src(source)
+		if prev := st.calls[e.XID]; prev != nil && !prev.resolved {
+			a.violate(source, "xid-reuse",
+				fmt.Sprintf("xid %d resent as a new call while still outstanding (proc %d)", e.XID, e.Proc))
+		}
+		st.calls[e.XID] = &callState{proc: e.Proc, sentAt: now}
+		st.sent++
+	case metrics.Reply:
+		st := a.src(source)
+		c := st.calls[e.XID]
+		switch {
+		case c == nil:
+			a.violate(source, "reply-without-call", fmt.Sprintf("xid %d", e.XID))
+		case c.resolved:
+			a.violate(source, "duplicate-completion",
+				fmt.Sprintf("xid %d completed again by a reply", e.XID))
+		default:
+			if e.RTT < 0 {
+				a.violate(source, "negative-rtt", fmt.Sprintf("xid %d rtt %v", e.XID, e.RTT))
+			}
+			c.resolved = true
+			st.replies++
+		}
+	case metrics.CallFailed:
+		st := a.src(source)
+		c := st.calls[e.XID]
+		switch {
+		case c == nil:
+			a.violate(source, "failure-without-call",
+				fmt.Sprintf("xid %d (%s)", e.XID, e.Reason))
+		case c.resolved:
+			a.violate(source, "duplicate-completion",
+				fmt.Sprintf("xid %d completed again by failure (%s)", e.XID, e.Reason))
+		default:
+			c.resolved = true
+			st.failures++
+		}
+	case metrics.Retransmit:
+		st := a.src(source)
+		c := st.calls[e.XID]
+		switch {
+		case c == nil:
+			a.violate(source, "retransmit-without-call", fmt.Sprintf("xid %d", e.XID))
+		case c.resolved:
+			a.violate(source, "retransmit-after-resolve", fmt.Sprintf("xid %d", e.XID))
+		}
+	case metrics.ServerCall:
+		if e.Service < 0 {
+			a.violate(source, "negative-service-time",
+				fmt.Sprintf("proc %d service %v", e.Proc, e.Service))
+		}
+	case metrics.ServerCrash:
+		// Reboot: every lease the server granted is forgotten, and none
+		// may be granted until the pre-crash ones have all expired.
+		a.recoveryUntil = now + e.RecoverFor
+		a.inRecovery = true
+		a.leases = make(map[string]map[string]leaseHolder)
+	case metrics.LeaseGrant:
+		if a.inRecovery && now < a.recoveryUntil {
+			a.violate(source, "lease-grant-in-recovery",
+				fmt.Sprintf("file %s peer %s granted %v before recovery ends at %v",
+					e.File, e.Peer, now, a.recoveryUntil))
+		}
+		holders := a.leases[e.File]
+		for peer, h := range holders {
+			if peer == e.Peer || now >= h.expiry {
+				continue
+			}
+			if e.Write || h.write {
+				a.violate(source, "lease-conflict",
+					fmt.Sprintf("file %s: grant(write=%v) to %s while %s holds write=%v until %v",
+						e.File, e.Write, e.Peer, peer, h.write, h.expiry))
+			}
+		}
+		if holders == nil {
+			holders = make(map[string]leaseHolder)
+			a.leases[e.File] = holders
+		}
+		holders[e.Peer] = leaseHolder{write: e.Write, expiry: now + e.Term}
+	case metrics.LeaseVacate:
+		delete(a.leases[e.File], e.Peer)
+	}
+}
+
+// Finish runs the end-of-run audits and returns all violations found, in
+// order. Call it only after every outstanding call has resolved (or should
+// have).
+func (a *Auditor) Finish() []Violation {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for source, st := range a.sources {
+		unresolved := 0
+		for xid, c := range st.calls {
+			if !c.resolved {
+				unresolved++
+				a.violate(source, "stuck-call",
+					fmt.Sprintf("xid %d (proc %d) sent at %v never resolved", xid, c.proc, c.sentAt))
+			}
+		}
+		if st.sent != st.replies+st.failures+unresolved {
+			a.violate(source, "conservation",
+				fmt.Sprintf("sent %d != replies %d + failures %d + outstanding %d",
+					st.sent, st.replies, st.failures, unresolved))
+		}
+	}
+	return a.violations
+}
+
+// Violations returns what has been found so far without the final audits.
+func (a *Auditor) Violations() []Violation {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Violation(nil), a.violations...)
+}
+
+// Counts returns the per-event and per-rule tallies — a cheap fingerprint
+// for determinism checks (two identical runs must produce equal Counts).
+func (a *Auditor) Counts() map[string]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]int, len(a.counts))
+	for k, v := range a.counts {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package check
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"renonfs/internal/metrics"
+)
+
+// testClock is a manually advanced clock for the auditor.
+type testClock struct{ now time.Duration }
+
+func (c *testClock) read() time.Duration { return c.now }
+
+func newAuditor() (*Auditor, *testClock) {
+	clk := &testClock{}
+	return New(clk.read), clk
+}
+
+func rules(vs []Violation) []string {
+	var out []string
+	for _, v := range vs {
+		out = append(out, v.Rule)
+	}
+	return out
+}
+
+func hasRule(vs []Violation, rule string) bool {
+	for _, v := range vs {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCleanRun(t *testing.T) {
+	a, clk := newAuditor()
+	tr := a.Tracer("client")
+	tr.Event(metrics.CallSent{Proc: 1, XID: 1})
+	clk.now = 10 * time.Millisecond
+	tr.Event(metrics.Reply{Proc: 1, XID: 1, RTT: 10 * time.Millisecond})
+	tr.Event(metrics.CallSent{Proc: 4, XID: 2})
+	tr.Event(metrics.Retransmit{Proc: 4, XID: 2, Backoff: 1})
+	clk.now = 30 * time.Millisecond
+	tr.Event(metrics.CallFailed{Proc: 4, XID: 2, Reason: "timeout"})
+	if vs := a.Finish(); len(vs) != 0 {
+		t.Fatalf("clean run produced violations: %v", vs)
+	}
+}
+
+func TestStuckCall(t *testing.T) {
+	a, _ := newAuditor()
+	tr := a.Tracer("client")
+	tr.Event(metrics.CallSent{Proc: 6, XID: 7})
+	vs := a.Finish()
+	if !hasRule(vs, "stuck-call") {
+		t.Fatalf("expected stuck-call, got %v", rules(vs))
+	}
+	if hasRule(vs, "conservation") {
+		t.Fatalf("outstanding call must satisfy conservation, got %v", rules(vs))
+	}
+}
+
+func TestDuplicateCompletion(t *testing.T) {
+	a, _ := newAuditor()
+	tr := a.Tracer("client")
+	tr.Event(metrics.CallSent{Proc: 1, XID: 1})
+	tr.Event(metrics.Reply{Proc: 1, XID: 1})
+	tr.Event(metrics.Reply{Proc: 1, XID: 1})
+	tr.Event(metrics.CallFailed{Proc: 1, XID: 1, Reason: "timeout"})
+	vs := a.Finish()
+	n := 0
+	for _, v := range vs {
+		if v.Rule == "duplicate-completion" {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("expected 2 duplicate-completion violations, got %v", rules(vs))
+	}
+}
+
+func TestReplyWithoutCall(t *testing.T) {
+	a, _ := newAuditor()
+	a.Tracer("client").Event(metrics.Reply{Proc: 1, XID: 99})
+	if vs := a.Finish(); !hasRule(vs, "reply-without-call") {
+		t.Fatalf("expected reply-without-call, got %v", rules(vs))
+	}
+}
+
+func TestRetransmitAfterResolve(t *testing.T) {
+	a, _ := newAuditor()
+	tr := a.Tracer("client")
+	tr.Event(metrics.CallSent{Proc: 1, XID: 1})
+	tr.Event(metrics.Reply{Proc: 1, XID: 1})
+	tr.Event(metrics.Retransmit{Proc: 1, XID: 1, Backoff: 1})
+	if vs := a.Finish(); !hasRule(vs, "retransmit-after-resolve") {
+		t.Fatalf("expected retransmit-after-resolve, got %v", rules(vs))
+	}
+}
+
+func TestXIDScopedPerSource(t *testing.T) {
+	a, _ := newAuditor()
+	// Two transports both use xid 1: legal, xids are per-transport.
+	a.Tracer("t1").Event(metrics.CallSent{Proc: 1, XID: 1})
+	a.Tracer("t2").Event(metrics.CallSent{Proc: 1, XID: 1})
+	a.Tracer("t1").Event(metrics.Reply{Proc: 1, XID: 1})
+	a.Tracer("t2").Event(metrics.Reply{Proc: 1, XID: 1})
+	if vs := a.Finish(); len(vs) != 0 {
+		t.Fatalf("per-source xids flagged: %v", vs)
+	}
+}
+
+func TestLeaseGrantInRecovery(t *testing.T) {
+	a, clk := newAuditor()
+	srv := a.Tracer("server")
+	srv.Event(metrics.ServerCrash{RecoverFor: 30 * time.Second})
+	clk.now = 10 * time.Second // still inside the recovery window
+	srv.Event(metrics.LeaseGrant{Peer: "udp:1:2049", File: "f1", Write: true, Term: 30 * time.Second})
+	if vs := a.Finish(); !hasRule(vs, "lease-grant-in-recovery") {
+		t.Fatalf("expected lease-grant-in-recovery, got %v", rules(vs))
+	}
+
+	a2, clk2 := newAuditor()
+	srv2 := a2.Tracer("server")
+	srv2.Event(metrics.ServerCrash{RecoverFor: 30 * time.Second})
+	clk2.now = 31 * time.Second // window over
+	srv2.Event(metrics.LeaseGrant{Peer: "udp:1:2049", File: "f1", Write: true, Term: 30 * time.Second})
+	if vs := a2.Finish(); len(vs) != 0 {
+		t.Fatalf("grant after recovery flagged: %v", vs)
+	}
+}
+
+func TestLeaseConflict(t *testing.T) {
+	a, clk := newAuditor()
+	srv := a.Tracer("server")
+	srv.Event(metrics.LeaseGrant{Peer: "A", File: "f1", Write: true, Term: 30 * time.Second})
+	clk.now = time.Second
+	srv.Event(metrics.LeaseGrant{Peer: "B", File: "f1", Write: false, Term: 30 * time.Second})
+	vs := a.Finish()
+	if !hasRule(vs, "lease-conflict") {
+		t.Fatalf("expected lease-conflict, got %v", rules(vs))
+	}
+
+	// Shared read leases are fine; so is a write grant after a vacate, or
+	// after the previous lease expired.
+	a2, clk2 := newAuditor()
+	srv2 := a2.Tracer("server")
+	srv2.Event(metrics.LeaseGrant{Peer: "A", File: "f1", Write: false, Term: 30 * time.Second})
+	srv2.Event(metrics.LeaseGrant{Peer: "B", File: "f1", Write: false, Term: 30 * time.Second})
+	srv2.Event(metrics.LeaseVacate{Peer: "A", File: "f1"})
+	srv2.Event(metrics.LeaseVacate{Peer: "B", File: "f1"})
+	srv2.Event(metrics.LeaseGrant{Peer: "C", File: "f1", Write: true, Term: 30 * time.Second})
+	clk2.now = 40 * time.Second // C's lease has expired on its own
+	srv2.Event(metrics.LeaseGrant{Peer: "D", File: "f1", Write: true, Term: 30 * time.Second})
+	if vs := a2.Finish(); len(vs) != 0 {
+		t.Fatalf("legal lease sequence flagged: %v", vs)
+	}
+}
+
+func TestViolationCapAndCounts(t *testing.T) {
+	a, _ := newAuditor()
+	tr := a.Tracer("client")
+	for i := 0; i < maxViolations+50; i++ {
+		tr.Event(metrics.Reply{Proc: 1, XID: uint32(i)})
+	}
+	vs := a.Finish()
+	if len(vs) != maxViolations {
+		t.Fatalf("violation list not capped: %d", len(vs))
+	}
+	if got := a.Counts()["violation.reply-without-call"]; got != maxViolations+50 {
+		t.Fatalf("counts must keep accumulating past the cap, got %d", got)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{At: time.Second, Source: "client", Rule: "stuck-call", Detail: "xid 3"}
+	s := v.String()
+	for _, want := range []string{"client", "stuck-call", "xid 3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("violation string %q missing %q", s, want)
+		}
+	}
+}

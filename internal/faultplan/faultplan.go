@@ -1,0 +1,241 @@
+// Package faultplan generates and applies deterministic fault schedules
+// for chaos testing the NFS stack. A Schedule is a pure value derived from
+// a seed: time-windowed loss bursts, packet duplication, corruption and
+// reordering on the simulated links, link flaps (total outages of one
+// interconnect segment), and server crash/reboot windows. Applying the
+// same schedule to the same testbed always produces the same run — the
+// link fault hooks draw from the simulation's own seeded RNG — so any
+// failure a seed sweep finds is reproducible from (seed, schedule) alone.
+package faultplan
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"renonfs/internal/netsim"
+	"renonfs/internal/server"
+	"renonfs/internal/sim"
+)
+
+// Burst is a window of degraded link quality on every link: random loss,
+// duplication, corruption and reordering at the given rates.
+type Burst struct {
+	Start, End sim.Time
+	// Loss, Dup, Corrupt, Reorder are per-frame probabilities in [0,1].
+	Loss    float64
+	Dup     float64
+	Corrupt float64
+	Reorder float64
+	// ReorderDelay bounds the extra propagation delay a reordered frame
+	// suffers (uniform in (0, ReorderDelay]).
+	ReorderDelay sim.Time
+}
+
+// Flap is a total outage of one link group (both directions of a segment,
+// identified by position in the sorted list of link names).
+type Flap struct {
+	Start, End sim.Time
+	Link       int // index into the name-sorted link groups, modulo count
+}
+
+// Crash is a server outage window: at Start the server host goes silent
+// (frontends drop requests, its links drop traffic, established TCP
+// connections die); at End it reboots — volatile state is gone and lease
+// grants are refused for one lease period.
+type Crash struct {
+	Start, End sim.Time
+}
+
+// Schedule is one complete fault plan.
+type Schedule struct {
+	Seed    int64
+	Horizon sim.Time
+	Bursts  []Burst
+	Flaps   []Flap
+	Crashes []Crash
+}
+
+// Options bounds schedule generation.
+type Options struct {
+	// Horizon is the run length faults are placed within (default 10 min).
+	// Fault windows are confined to the first 60% of it, so even a run
+	// that hits every fault has slack to drain its retransmission queues.
+	Horizon sim.Time
+	// MaxBursts, MaxFlaps and MaxCrashes bound the number of each fault
+	// kind (the generator draws 1..MaxBursts bursts, 0..MaxFlaps flaps and
+	// 0..MaxCrashes crashes). Defaults: 3, 2, 1.
+	MaxBursts  int
+	MaxFlaps   int
+	MaxCrashes int
+}
+
+// Generate derives a schedule from a seed. The generator has its own RNG,
+// so a schedule depends only on (seed, opts) — never on what else the
+// simulation's RNG has been used for.
+func Generate(seed int64, opts Options) *Schedule {
+	if opts.Horizon == 0 {
+		opts.Horizon = 10 * time.Minute
+	}
+	if opts.MaxBursts == 0 {
+		opts.MaxBursts = 3
+	}
+	if opts.MaxFlaps == 0 {
+		opts.MaxFlaps = 2
+	}
+	if opts.MaxCrashes == 0 {
+		opts.MaxCrashes = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &Schedule{Seed: seed, Horizon: opts.Horizon}
+	// Confine fault windows to the first 60% of the horizon: bounded
+	// outages plus guaranteed calm, so hard mounts always drain.
+	span := opts.Horizon * 6 / 10
+	window := func(maxLen sim.Time) (sim.Time, sim.Time) {
+		length := sim.Time(rng.Int63n(int64(maxLen))) + maxLen/8
+		start := sim.Time(rng.Int63n(int64(span)))
+		end := start + length
+		if end > span {
+			end = span
+		}
+		return start, end
+	}
+	for i, n := 0, 1+rng.Intn(opts.MaxBursts); i < n; i++ {
+		start, end := window(30 * time.Second)
+		s.Bursts = append(s.Bursts, Burst{
+			Start: start, End: end,
+			Loss:         rng.Float64() * 0.15,
+			Dup:          rng.Float64() * 0.10,
+			Corrupt:      rng.Float64() * 0.05,
+			Reorder:      rng.Float64() * 0.20,
+			ReorderDelay: sim.Time(rng.Int63n(int64(30 * time.Millisecond))),
+		})
+	}
+	for i, n := 0, rng.Intn(opts.MaxFlaps+1); i < n; i++ {
+		start, end := window(4 * time.Second)
+		s.Flaps = append(s.Flaps, Flap{Start: start, End: end, Link: rng.Intn(8)})
+	}
+	for i, n := 0, rng.Intn(opts.MaxCrashes+1); i < n; i++ {
+		start, end := window(8 * time.Second)
+		s.Crashes = append(s.Crashes, Crash{Start: start, End: end})
+	}
+	sort.Slice(s.Bursts, func(i, j int) bool { return s.Bursts[i].Start < s.Bursts[j].Start })
+	sort.Slice(s.Flaps, func(i, j int) bool { return s.Flaps[i].Start < s.Flaps[j].Start })
+	sort.Slice(s.Crashes, func(i, j int) bool { return s.Crashes[i].Start < s.Crashes[j].Start })
+	return s
+}
+
+// String renders the schedule compactly, for failure reports.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d horizon=%v", s.Seed, time.Duration(s.Horizon))
+	for _, bu := range s.Bursts {
+		fmt.Fprintf(&b, " burst[%v-%v loss=%.2f dup=%.2f corrupt=%.2f reorder=%.2f/%v]",
+			time.Duration(bu.Start), time.Duration(bu.End),
+			bu.Loss, bu.Dup, bu.Corrupt, bu.Reorder, time.Duration(bu.ReorderDelay))
+	}
+	for _, f := range s.Flaps {
+		fmt.Fprintf(&b, " flap[%v-%v link=%d]", time.Duration(f.Start), time.Duration(f.End), f.Link)
+	}
+	for _, c := range s.Crashes {
+		fmt.Fprintf(&b, " crash[%v-%v]", time.Duration(c.Start), time.Duration(c.End))
+	}
+	return b.String()
+}
+
+// linkGroups returns the testbed's links bucketed by segment name, in
+// sorted name order. Both directions of a Connect share a name, so a flap
+// takes out a whole segment. The order is deterministic: Net.Links walks
+// nodes and interfaces in creation order, and the names are sorted.
+func linkGroups(net *netsim.Net) (names []string, byName map[string][]*netsim.Link) {
+	byName = make(map[string][]*netsim.Link)
+	for _, l := range net.Links() {
+		name := l.Config().Name
+		if _, seen := byName[name]; !seen {
+			names = append(names, name)
+		}
+		byName[name] = append(byName[name], l)
+	}
+	sort.Strings(names)
+	return names, byName
+}
+
+// Apply installs the schedule on a testbed: a fault hook on every link and
+// crash-window timers driving the server. srv may be nil when the schedule
+// has no crashes (or the caller drives crashes itself).
+func (s *Schedule) Apply(tb *netsim.Testbed, srv *server.Server) {
+	if len(s.Crashes) > 0 && srv == nil {
+		panic("faultplan: schedule has crashes but no server to crash")
+	}
+	names, byName := linkGroups(tb.Net)
+	serverID := tb.Server.ID
+	for gi, name := range names {
+		flapped := false
+		for _, f := range s.Flaps {
+			if f.Link%len(names) == gi {
+				flapped = true
+			}
+		}
+		for _, l := range byName[name] {
+			touchesServer := l.From().ID == serverID || l.To().ID == serverID
+			groupIdx := gi
+			doFlap := flapped
+			l.SetFault(func(now sim.Time, rng *rand.Rand) netsim.FaultVerdict {
+				var v netsim.FaultVerdict
+				// A crashed host neither sends nor receives: drop
+				// everything touching the server during its outage.
+				if touchesServer {
+					for _, c := range s.Crashes {
+						if now >= c.Start && now < c.End {
+							v.Drop = true
+							return v
+						}
+					}
+				}
+				if doFlap {
+					for _, f := range s.Flaps {
+						if f.Link%len(names) == groupIdx && now >= f.Start && now < f.End {
+							v.Drop = true
+							return v
+						}
+					}
+				}
+				for _, bu := range s.Bursts {
+					if now < bu.Start || now >= bu.End {
+						continue
+					}
+					if bu.Loss > 0 && rng.Float64() < bu.Loss {
+						v.Drop = true
+						return v
+					}
+					if bu.Dup > 0 && rng.Float64() < bu.Dup {
+						v.Duplicate = true
+					}
+					if bu.Corrupt > 0 && rng.Float64() < bu.Corrupt {
+						v.Corrupt = true
+					}
+					if bu.Reorder > 0 && rng.Float64() < bu.Reorder && bu.ReorderDelay > 0 {
+						v.ExtraDelay += sim.Time(1 + rng.Int63n(int64(bu.ReorderDelay)))
+					}
+				}
+				return v
+			})
+		}
+	}
+	env := tb.Net.Env
+	for _, c := range s.Crashes {
+		c := c
+		env.At(c.Start, func() {
+			// Host goes silent: frontends drop, established connections die.
+			srv.SetDown(true)
+			srv.AbortTCPConns()
+		})
+		env.At(c.End, func() {
+			// Reboot: volatile state is gone, lease recovery window starts.
+			srv.Crash()
+			srv.SetDown(false)
+		})
+	}
+}

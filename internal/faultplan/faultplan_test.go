@@ -1,0 +1,197 @@
+package faultplan
+
+import (
+	"testing"
+	"time"
+
+	"renonfs/internal/mbuf"
+	"renonfs/internal/memfs"
+	"renonfs/internal/metrics"
+	"renonfs/internal/netsim"
+	"renonfs/internal/nfsproto"
+	"renonfs/internal/server"
+	"renonfs/internal/sim"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a := Generate(seed, Options{})
+		b := Generate(seed, Options{})
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: schedules differ:\n%s\n%s", seed, a, b)
+		}
+	}
+	if Generate(1, Options{}).String() == Generate(2, Options{}).String() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestGenerateBounds(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		s := Generate(seed, Options{})
+		span := s.Horizon * 6 / 10
+		if len(s.Bursts) == 0 {
+			t.Fatalf("seed %d: no bursts", seed)
+		}
+		for _, b := range s.Bursts {
+			if b.Start < 0 || b.End > span || b.End <= b.Start {
+				t.Fatalf("seed %d: burst window [%v,%v) outside [0,%v)", seed, b.Start, b.End, span)
+			}
+			if b.Loss > 0.15 || b.Dup > 0.10 || b.Corrupt > 0.05 || b.Reorder > 0.20 {
+				t.Fatalf("seed %d: burst rates out of bounds: %+v", seed, b)
+			}
+			if b.ReorderDelay > 30*time.Millisecond {
+				t.Fatalf("seed %d: reorder delay %v too large", seed, b.ReorderDelay)
+			}
+		}
+		for _, f := range s.Flaps {
+			if f.Start < 0 || f.End > span || f.End <= f.Start {
+				t.Fatalf("seed %d: flap window [%v,%v) out of bounds", seed, f.Start, f.End)
+			}
+		}
+		for _, c := range s.Crashes {
+			if c.Start < 0 || c.End > span || c.End <= c.Start {
+				t.Fatalf("seed %d: crash window [%v,%v) out of bounds", seed, c.Start, c.End)
+			}
+			if c.End-c.Start > 10*time.Second {
+				t.Fatalf("seed %d: crash outage %v too long", seed, c.End-c.Start)
+			}
+		}
+	}
+}
+
+// pump sends n spaced datagrams client->server and returns how many arrive.
+func pump(t *testing.T, tb *netsim.Testbed, env *sim.Env, n int) int {
+	t.Helper()
+	got := 0
+	rx := tb.Server.UDPSocket(7000)
+	env.Spawn("rx", func(p *sim.Proc) {
+		for {
+			if _, ok := rx.Recv(p); !ok {
+				return
+			}
+			got++
+		}
+	})
+	tx := tb.Client.UDPSocket(7001)
+	env.Spawn("tx", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			tx.Send(p, tb.Server.ID, 7000, mbuf.FromBytes(make([]byte, 100)))
+			p.Sleep(10 * time.Millisecond)
+		}
+	})
+	env.Run(env.Now() + time.Second)
+	return got
+}
+
+func TestApplyLossBurst(t *testing.T) {
+	env := sim.New(1)
+	tb := netsim.Build(env, netsim.TopoLAN,
+		netsim.NodeConfig{Name: "client"}, netsim.NodeConfig{Name: "server"})
+	s := &Schedule{Horizon: time.Hour, Bursts: []Burst{{Start: 0, End: time.Hour, Loss: 1}}}
+	s.Apply(tb, nil)
+	if got := pump(t, tb, env, 20); got != 0 {
+		t.Fatalf("total loss burst delivered %d datagrams", got)
+	}
+	drops := 0
+	for _, l := range tb.Net.Links() {
+		drops += l.Stat.FaultDrops
+	}
+	if drops == 0 {
+		t.Fatal("no FaultDrops counted")
+	}
+}
+
+func TestApplyDuplication(t *testing.T) {
+	env := sim.New(1)
+	tb := netsim.Build(env, netsim.TopoLAN,
+		netsim.NodeConfig{Name: "client"}, netsim.NodeConfig{Name: "server"})
+	s := &Schedule{Horizon: time.Hour, Bursts: []Burst{{Start: 0, End: time.Hour, Dup: 1}}}
+	s.Apply(tb, nil)
+	if got := pump(t, tb, env, 20); got < 30 {
+		t.Fatalf("duplication burst delivered only %d datagrams for 20 sent", got)
+	}
+}
+
+func TestApplyCorruption(t *testing.T) {
+	env := sim.New(1)
+	tb := netsim.Build(env, netsim.TopoLAN,
+		netsim.NodeConfig{Name: "client"}, netsim.NodeConfig{Name: "server"})
+	s := &Schedule{Horizon: time.Hour, Bursts: []Burst{{Start: 0, End: time.Hour, Corrupt: 1}}}
+	s.Apply(tb, nil)
+	if got := pump(t, tb, env, 20); got != 0 {
+		t.Fatalf("corrupted datagrams passed the checksum: %d delivered", got)
+	}
+	if tb.Server.Stats.ChecksumDrops == 0 {
+		t.Fatal("no checksum drops counted at the receiving host")
+	}
+}
+
+func TestApplyFlap(t *testing.T) {
+	env := sim.New(1)
+	tb := netsim.Build(env, netsim.TopoLAN,
+		netsim.NodeConfig{Name: "client"}, netsim.NodeConfig{Name: "server"})
+	// TopoLAN has one link group (eth0); any flap index hits it.
+	s := &Schedule{Horizon: time.Hour, Flaps: []Flap{{Start: 0, End: time.Hour, Link: 3}}}
+	s.Apply(tb, nil)
+	if got := pump(t, tb, env, 20); got != 0 {
+		t.Fatalf("flapped link delivered %d datagrams", got)
+	}
+}
+
+func TestApplyCrashWindow(t *testing.T) {
+	env := sim.New(1)
+	tb := netsim.Build(env, netsim.TopoLAN,
+		netsim.NodeConfig{Name: "client"}, netsim.NodeConfig{Name: "server"})
+	fs := memfs.New(1, nil, func() nfsproto.Time { return nfsproto.Time{} })
+	srv := server.New(fs, server.Reno())
+	srv.AttachNode(tb.Server)
+	crashes := 0
+	srv.Tracer = metrics.FuncTracer(func(ev metrics.Event) {
+		if _, ok := ev.(metrics.ServerCrash); ok {
+			crashes++
+		}
+	})
+	s := &Schedule{
+		Horizon: time.Minute,
+		Crashes: []Crash{{Start: 2 * time.Second, End: 5 * time.Second}},
+	}
+	s.Apply(tb, srv)
+	env.Run(3 * time.Second)
+	if !srv.Down() {
+		t.Fatal("server not down inside the crash window")
+	}
+	env.Run(6 * time.Second)
+	if srv.Down() {
+		t.Fatal("server still down after the crash window")
+	}
+	if crashes != 1 {
+		t.Fatalf("expected 1 ServerCrash event, got %d", crashes)
+	}
+}
+
+func TestApplyDeterministicCounters(t *testing.T) {
+	run := func() (frames, drops int) {
+		env := sim.New(42)
+		tb := netsim.Build(env, netsim.TopoLAN,
+			netsim.NodeConfig{Name: "client"}, netsim.NodeConfig{Name: "server"})
+		s := &Schedule{Horizon: time.Hour, Bursts: []Burst{
+			{Start: 0, End: time.Hour, Loss: 0.3, Dup: 0.2, Reorder: 0.5, ReorderDelay: 5 * time.Millisecond},
+		}}
+		s.Apply(tb, nil)
+		pump(t, tb, env, 50)
+		for _, l := range tb.Net.Links() {
+			frames += l.Stat.Frames
+			drops += l.Stat.FaultDrops
+		}
+		return
+	}
+	f1, d1 := run()
+	f2, d2 := run()
+	if f1 != f2 || d1 != d2 {
+		t.Fatalf("identical (seed, schedule) diverged: frames %d/%d drops %d/%d", f1, f2, d1, d2)
+	}
+	if d1 == 0 {
+		t.Fatal("lossy schedule dropped nothing")
+	}
+}

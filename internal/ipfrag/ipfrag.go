@@ -58,11 +58,63 @@ type Key struct {
 	ID  uint32
 }
 
-// state tracks one datagram's received coverage.
+// span is a half-open covered byte range [off, end).
+type span struct {
+	off, end int
+}
+
+// state tracks one datagram's received coverage. Coverage is kept as a
+// sorted list of merged ranges rather than a byte count so that duplicated
+// or overlapping fragments (links can replay frames) never make a datagram
+// look complete before every byte has actually arrived.
 type state struct {
 	total    int // known total length, -1 until the last fragment arrives
-	received int // bytes received (fragments never overlap in this model)
+	spans    []span
 	deadline sim.Time
+}
+
+// add merges [off, end) into the coverage set.
+func (st *state) add(off, end int) {
+	if end <= off {
+		return
+	}
+	merged := make([]span, 0, len(st.spans)+1)
+	placed := false
+	for _, s := range st.spans {
+		if !placed && s.off > off {
+			merged = append(merged, span{off, end})
+			placed = true
+		}
+		merged = append(merged, s)
+	}
+	if !placed {
+		merged = append(merged, span{off, end})
+	}
+	// Coalesce overlapping/adjacent neighbours (in place: the write index
+	// never passes the read index).
+	out := merged[:1]
+	for _, s := range merged[1:] {
+		last := &out[len(out)-1]
+		if s.off <= last.end {
+			if s.end > last.end {
+				last.end = s.end
+			}
+		} else {
+			out = append(out, s)
+		}
+	}
+	st.spans = out
+}
+
+// complete reports whether [0, total) is fully covered.
+func (st *state) complete() bool {
+	if st.total < 0 {
+		return false
+	}
+	if st.total == 0 {
+		return true
+	}
+	return len(st.spans) == 1 && st.spans[0].off == 0 && st.spans[0].end >= st.total
 }
 
 // Reassembler tracks in-progress datagrams and decides when one completes.
@@ -104,11 +156,11 @@ func (r *Reassembler) Add(k Key, f Frag, now sim.Time) bool {
 		st = &state{total: -1, deadline: now + r.Timeout}
 		r.pending[k] = st
 	}
-	st.received += f.Len
+	st.add(f.Off, f.Off+f.Len)
 	if !f.More {
 		st.total = f.Off + f.Len
 	}
-	if st.total >= 0 && st.received >= st.total {
+	if st.complete() {
 		delete(r.pending, k)
 		return true
 	}

@@ -145,3 +145,54 @@ func TestStaleStateRestarts(t *testing.T) {
 		t.Fatal("fresh attempt did not complete")
 	}
 }
+
+// TestReassemblyDuplicateFragments: a duplicated fragment (the network
+// copied a frame) must not complete a datagram early or corrupt the
+// coverage accounting — span-based coverage absorbs repeats.
+func TestReassemblyDuplicateFragments(t *testing.T) {
+	r := NewReassembler(15 * time.Second)
+	k := Key{Src: 3, ID: 9}
+	frags := Split(5000, 1480)
+	for i, f := range frags[:len(frags)-1] {
+		for rep := 0; rep < 3; rep++ { // every fragment arrives thrice
+			if r.Add(k, f, 0) {
+				t.Fatalf("completed early at fragment %d repeat %d", i, rep)
+			}
+		}
+	}
+	if !r.Add(k, frags[len(frags)-1], 0) {
+		t.Fatal("not complete after all fragments")
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("pending = %d after completion", r.Pending())
+	}
+	// A late straggler duplicate after completion starts fresh state and
+	// must never complete on its own.
+	if r.Add(k, frags[0], 0) {
+		t.Fatal("lone duplicate completed a datagram")
+	}
+}
+
+// TestReassemblyOverlappingFragments: overlapping spans (retransmitted
+// datagram refragmented on a different MTU path) count covered bytes once.
+func TestReassemblyOverlappingFragments(t *testing.T) {
+	r := NewReassembler(15 * time.Second)
+	k := Key{Src: 4, ID: 11}
+	// 3000-byte datagram: [0,2000) then an overlapping [1000,3000) tail.
+	if r.Add(k, Frag{Off: 0, Len: 2000, More: true}, 0) {
+		t.Fatal("complete after first span")
+	}
+	if !r.Add(k, Frag{Off: 1000, Len: 2000, More: false}, 0) {
+		t.Fatal("overlapping tail did not complete the datagram")
+	}
+	// Overlap alone must not fake completion: [0,2000) + [500,1500) leaves
+	// the tail missing.
+	k2 := Key{Src: 4, ID: 12}
+	r.Add(k2, Frag{Off: 0, Len: 2000, More: true}, 0)
+	if r.Add(k2, Frag{Off: 500, Len: 1000, More: true}, 0) {
+		t.Fatal("interior overlap completed an uncovered datagram")
+	}
+	if r.Pending() != 1 {
+		t.Fatalf("pending = %d", r.Pending())
+	}
+}

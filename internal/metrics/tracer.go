@@ -72,10 +72,42 @@ type Reply struct {
 	RTT  time.Duration
 }
 
+// CallFailed: a call resolved without a reply — the transport gave up
+// (retransmit budget exhausted), was closed, or could not reconnect.
+// Together with Reply these make every CallSent's fate observable, which
+// is what the conservation invariants in internal/check audit.
+type CallFailed struct {
+	Proc   uint32
+	XID    uint32
+	Reason string
+}
+
 // DupCacheHit: the server's duplicate request cache suppressed
 // re-execution of a retransmitted non-idempotent call.
 type DupCacheHit struct {
 	Proc uint32
+}
+
+// ServerCrash: the server rebooted, losing all volatile state; new leases
+// are refused for RecoverFor (the NQNFS recovery window).
+type ServerCrash struct {
+	RecoverFor time.Duration
+}
+
+// LeaseGrant: the server granted (or renewed) a cache lease. File is a
+// printable file identity (this package stays protocol-agnostic).
+type LeaseGrant struct {
+	Peer  string
+	File  string
+	Write bool
+	Term  time.Duration
+}
+
+// LeaseVacate: a holder released its lease after an eviction notice (or
+// the server dropped the holder), so the file is grantable again.
+type LeaseVacate struct {
+	Peer string
+	File string
 }
 
 // ServerCall: the server finished one procedure; Service is the in-server
@@ -101,7 +133,11 @@ func (RTTSample) Kind() string   { return "rtt_sample" }
 func (CwndChange) Kind() string  { return "cwnd" }
 func (FragDrop) Kind() string    { return "frag_drop" }
 func (Reply) Kind() string       { return "reply" }
+func (CallFailed) Kind() string  { return "call_failed" }
 func (DupCacheHit) Kind() string { return "dup_hit" }
+func (ServerCrash) Kind() string { return "server_crash" }
+func (LeaseGrant) Kind() string  { return "lease_grant" }
+func (LeaseVacate) Kind() string { return "lease_vacate" }
 func (ServerCall) Kind() string  { return "server_call" }
 func (ClientCall) Kind() string  { return "client_call" }
 
@@ -173,8 +209,17 @@ func (t *MetricsTracer) Event(ev Event) {
 	case Reply:
 		t.R.Counter("rpc.replies").Inc()
 		t.R.Histogram("rpc.call_ms." + t.proc(e.Proc)).Observe(ms(e.RTT))
+	case CallFailed:
+		t.R.Counter("rpc.failures").Inc()
+		t.R.Counter("rpc.failures." + t.proc(e.Proc)).Inc()
 	case DupCacheHit:
 		t.R.Counter("nfs.dup_hits").Inc()
+	case ServerCrash:
+		t.R.Counter("nfs.server_crashes").Inc()
+	case LeaseGrant:
+		t.R.Counter("nfs.lease_grants").Inc()
+	case LeaseVacate:
+		t.R.Counter("nfs.lease_vacates").Inc()
 	case ServerCall:
 		t.R.Counter("nfs.calls." + t.proc(e.Proc)).Inc()
 		t.R.Histogram("nfs.service_ms." + t.proc(e.Proc)).Observe(ms(e.Service))

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"math/rand"
 	"time"
 
 	"renonfs/internal/sim"
@@ -32,25 +33,52 @@ type LinkStats struct {
 	Bytes      int
 	Lost       int // random loss
 	QueueDrops int // drop-tail overflow
+	// Fault-injection counters (frames affected by an installed FaultHook).
+	FaultDrops  int
+	FaultDups   int
+	FaultCorrup int
 }
+
+// FaultVerdict is a fault-injection decision for one frame about to leave
+// a link. The zero value means "deliver normally".
+type FaultVerdict struct {
+	// Drop discards the frame (loss bursts, flaps, partitions).
+	Drop bool
+	// Duplicate delivers a second copy of the frame.
+	Duplicate bool
+	// Corrupt flips bytes somewhere in the frame's datagram: the receiving
+	// host's transport checksum will reject the whole datagram on arrival.
+	Corrupt bool
+	// ExtraDelay is added to the propagation delay, reordering the frame
+	// past later traffic.
+	ExtraDelay sim.Time
+}
+
+// FaultHook decides the fate of each frame a link transmits. It runs on
+// the link's transmitter process with the simulation's seeded RNG, so a
+// schedule of faults is exactly reproducible from the run's seed. now is
+// the virtual time at end of serialization.
+type FaultHook func(now sim.Time, rng *rand.Rand) FaultVerdict
 
 // Link is one direction of a connection. Frames wait in a finite drop-tail
 // queue, serialize at link bandwidth (plus background-traffic waiting) and
 // arrive at the far node after the propagation delay.
 type Link struct {
-	cfg  LinkConfig
-	env  *sim.Env
-	net  *Net
-	to   *Node
-	q    *sim.Queue[*packet]
-	Stat LinkStats
+	cfg   LinkConfig
+	env   *sim.Env
+	net   *Net
+	from  *Node
+	to    *Node
+	q     *sim.Queue[*packet]
+	fault FaultHook
+	Stat  LinkStats
 }
 
 func newLink(env *sim.Env, cfg LinkConfig, from, to *Node) *Link {
 	if cfg.QueueLen == 0 {
 		cfg.QueueLen = 32
 	}
-	l := &Link{cfg: cfg, env: env, net: from.net, to: to}
+	l := &Link{cfg: cfg, env: env, net: from.net, from: from, to: to}
 	l.q = sim.NewQueue[*packet](env, cfg.Name+".q")
 	l.q.MaxLen = cfg.QueueLen
 	env.Spawn(cfg.Name+"("+from.Name+"->"+to.Name+")", l.run)
@@ -59,6 +87,15 @@ func newLink(env *sim.Env, cfg LinkConfig, from, to *Node) *Link {
 
 // Config returns the link configuration.
 func (l *Link) Config() LinkConfig { return l.cfg }
+
+// From and To identify the link's endpoints (it is one direction of a
+// connection).
+func (l *Link) From() *Node { return l.from }
+func (l *Link) To() *Node   { return l.to }
+
+// SetFault installs (or, with nil, removes) a fault-injection hook on this
+// link direction. The fault layer in internal/faultplan drives this.
+func (l *Link) SetFault(h FaultHook) { l.fault = h }
 
 // enqueue offers a frame to the transmit queue; overflow is dropped.
 func (l *Link) enqueue(pk *packet) {
@@ -95,11 +132,33 @@ func (l *Link) run(p *sim.Proc) {
 			l.net.trace(p.Now(), l.cfg.Name, TraceLoss, pk)
 			continue
 		}
+		// Fault injection: the hook (if any) may drop, duplicate, corrupt
+		// or delay the frame. It runs here — after serialization, before
+		// propagation — so faulted frames still consumed link bandwidth.
+		delay := l.cfg.PropDelay
+		if l.fault != nil {
+			v := l.fault(p.Now(), rng)
+			if v.Drop {
+				l.Stat.FaultDrops++
+				l.net.trace(p.Now(), l.cfg.Name, TraceLoss, pk)
+				continue
+			}
+			if v.Corrupt {
+				l.Stat.FaultCorrup++
+				pk.dg.Corrupted = true
+			}
+			delay += v.ExtraDelay
+			if v.Duplicate {
+				l.Stat.FaultDups++
+				dst, frame := l.to, pk
+				p.Env().After(l.cfg.PropDelay, func() { dst.rxq.Send(frame) })
+			}
+		}
 		// Propagation happens off the transmitter's clock so back-to-back
 		// frames pipeline.
 		dst := l.to
 		frame := pk
-		p.Env().After(l.cfg.PropDelay, func() { dst.rxq.Send(frame) })
+		p.Env().After(delay, func() { dst.rxq.Send(frame) })
 	}
 }
 

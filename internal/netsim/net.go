@@ -50,6 +50,9 @@ type Datagram struct {
 	// Meta carries transport-private state (the TCP segment header).
 	Meta any
 	ID   uint32
+	// Corrupted marks a datagram damaged in flight by fault injection; the
+	// receiving host's transport checksum drops it on reassembly.
+	Corrupted bool
 }
 
 // Len returns the transport payload length in bytes.
@@ -100,6 +103,10 @@ type NodeStats struct {
 	Forwarded         int
 	ReasmExpired      int
 	NoPortDrops       int
+	// ChecksumDrops counts reassembled datagrams rejected because fault
+	// injection corrupted a fragment in flight (UDP and TCP checksums both
+	// catch this; 4.3BSD-Reno ran with UDP checksums enabled).
+	ChecksumDrops int
 }
 
 // Node is a simulated host or router.
@@ -142,6 +149,20 @@ func New(env *sim.Env) *Net { return &Net{Env: env} }
 
 // Nodes returns all nodes in creation order.
 func (nt *Net) Nodes() []*Node { return nt.nodes }
+
+// Links returns every unidirectional link in the network, grouped by node
+// creation order (each node's outgoing links in attachment order). The
+// fault-injection layer uses this to install hooks.
+func (nt *Net) Links() []*Link {
+	var out []*Link
+	for _, n := range nt.nodes {
+		out = append(out, n.ifaces...)
+	}
+	return out
+}
+
+// Links returns the node's outgoing links in attachment order.
+func (n *Node) Links() []*Link { return n.ifaces }
 
 // AddNode creates a node and starts its receive process.
 func (nt *Net) AddNode(cfg NodeConfig) *Node {
@@ -413,6 +434,11 @@ func (n *Node) softnet(p *sim.Proc) {
 			n.ChargeCPU(p, "tcp", m.Cost(m.TCPPkt))
 		}
 		n.ChargeCPU(p, "checksum", m.CostBytes(m.ChecksumPerByte, pk.dg.Len()+pk.dg.HeaderBytes))
+		if pk.dg.Corrupted {
+			// The checksum was computed (and paid for) before it failed.
+			n.Stats.ChecksumDrops++
+			continue
+		}
 		q := n.ports[portKey{pk.dg.Proto, pk.dg.DstPort}]
 		if q == nil {
 			n.Stats.NoPortDrops++

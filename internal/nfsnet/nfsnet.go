@@ -82,6 +82,9 @@ func (s *Server) Close() {
 }
 
 func (s *Server) handle(peer string, req []byte) []byte {
+	if s.srv.Down() {
+		return nil // crashed: the request vanishes, like the sim frontends
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rep := s.srv.HandleCall(nil, peer, mbuf.FromBytes(req))
@@ -89,6 +92,19 @@ func (s *Server) handle(peer string, req []byte) []byte {
 		return nil
 	}
 	return rep.Bytes()
+}
+
+// SetDown makes the frontends silently drop requests (true) or serve
+// normally (false). Safe to call concurrently with request handling.
+func (s *Server) SetDown(down bool) { s.srv.SetDown(down) }
+
+// Crash simulates a server reboot, dropping all volatile core state. It
+// takes the kernel lock, so it is safe to call while requests are being
+// served — unlike calling Core().Crash() directly.
+func (s *Server) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.srv.Crash()
 }
 
 func (s *Server) serveUDP() {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"renonfs/internal/memfs"
 	"renonfs/internal/nfsproto"
@@ -213,6 +214,116 @@ func TestConcurrentRealClients(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestStressCrashAndSetDownMidCall hammers the real-socket server from
+// concurrent UDP and TCP clients while another goroutine keeps crashing it
+// and toggling it down mid-call. Run under -race, this is the detector for
+// unsynchronized access between the frontends and the crash path; the
+// functional assertion is that once the chaos stops, every client
+// completes a full create/write/read cycle against the recovered server.
+func TestStressCrashAndSetDownMidCall(t *testing.T) {
+	s, srv := startServer(t)
+	root := srv.RootFH()
+
+	stop := make(chan struct{})
+	var chaosWG sync.WaitGroup
+	chaosWG.Add(1)
+	go func() {
+		defer chaosWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				s.SetDown(false)
+				return
+			default:
+			}
+			switch i % 3 {
+			case 0:
+				s.SetDown(true)
+				time.Sleep(5 * time.Millisecond)
+				s.SetDown(false)
+			case 1:
+				s.Crash()
+			case 2:
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+	}()
+
+	const workers = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var c *Client
+			var err error
+			if i%2 == 0 {
+				c, err = DialUDP(s.UDPAddr())
+			} else {
+				c, err = DialTCP(s.TCPAddr())
+			}
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			c.Timeout = 100 * time.Millisecond
+			c.Retries = 2
+			name := fmt.Sprintf("stress-%d", i)
+			deadline := time.Now().Add(2 * time.Second)
+			for time.Now().Before(deadline) {
+				// Failures are expected while the server is down or
+				// rebooting; only panics and races are bugs here.
+				cr, err := c.Create(root, name, 0644)
+				if err != nil || cr.Status != nfsproto.OK {
+					continue
+				}
+				c.Write(cr.File, 0, bytes.Repeat([]byte{byte(i)}, 1024))
+				c.Read(cr.File, 0, 1024)
+				c.Remove(root, name)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	chaosWG.Wait()
+
+	// The dust has settled: the server must serve every client again.
+	for i := 0; i < workers; i++ {
+		var c *Client
+		var err error
+		if i%2 == 0 {
+			c, err = DialUDP(s.UDPAddr())
+		} else {
+			c, err = DialTCP(s.TCPAddr())
+		}
+		if err != nil {
+			t.Fatalf("post-chaos dial %d: %v", i, err)
+		}
+		c.Timeout = time.Second
+		c.Retries = 5
+		name := fmt.Sprintf("settled-%d", i)
+		cr, err := c.Create(root, name, 0644)
+		if err != nil || cr.Status != nfsproto.OK {
+			t.Fatalf("post-chaos create %d: %v %v", i, cr, err)
+		}
+		data := bytes.Repeat([]byte{byte(i + 1)}, 2048)
+		if wr, err := c.Write(cr.File, 0, data); err != nil || wr.Status != nfsproto.OK {
+			t.Fatalf("post-chaos write %d: %v %v", i, wr, err)
+		}
+		rr, err := c.Read(cr.File, 0, 2048)
+		if err != nil || rr.Status != nfsproto.OK || !bytes.Equal(rr.Data.Bytes(), data) {
+			t.Fatalf("post-chaos readback %d failed: %v %v", i, rr, err)
+		}
+		c.Close()
+	}
 	close(errs)
 	for err := range errs {
 		t.Error(err)

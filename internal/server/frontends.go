@@ -68,17 +68,26 @@ func (s *Server) ServeTCP(stack *tcpsim.Stack, port int) {
 				return
 			}
 			peer := fmt.Sprintf("tcp:%d", connID)
+			if s.conns == nil {
+				s.conns = make(map[*tcpsim.Conn]struct{})
+			}
+			s.conns[conn] = struct{}{}
 			env.Spawn(s.Opts.Name+".tcp-conn", func(p *sim.Proc) {
+				// No deferred cleanup: Env.Close unwinds every parked
+				// process concurrently, so shared maps may only be touched
+				// on the normal (scheduled) return paths below.
 				var scan rpc.RecordScanner
 				for {
 					b, ok := conn.Recv(p)
 					if !ok {
 						conn.Close()
+						delete(s.conns, conn)
 						return
 					}
 					recs, err := scan.Feed(b)
 					if err != nil {
 						conn.Abort()
+						delete(s.conns, conn)
 						return
 					}
 					for _, rec := range recs {
@@ -107,7 +116,7 @@ func (s *Server) spawnNFSDs(env *sim.Env, jobs *sim.Queue[job], tag string) {
 				if !ok {
 					return
 				}
-				if s.down {
+				if s.down.Load() {
 					continue // crashed: the request vanishes
 				}
 				rep := s.HandleCall(p, j.peer, j.req)

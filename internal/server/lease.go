@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"renonfs/internal/mbuf"
+	"renonfs/internal/metrics"
 	"renonfs/internal/netsim"
 	"renonfs/internal/nfsproto"
 	"renonfs/internal/sim"
@@ -196,6 +197,11 @@ func (s *Server) leaseCall(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Enco
 			Duration: uint32(dur / time.Second),
 			Attr:     &attr,
 		}).Encode(e)
+		metrics.Emit(s.Tracer, metrics.LeaseGrant{
+			Peer: peer, File: args.File.String(),
+			Write: args.Mode == nfsproto.LeaseWrite,
+			Term:  time.Duration(dur),
+		})
 	}
 	var isHolder bool
 	if st != nil {
@@ -244,7 +250,10 @@ func (s *Server) vacatedCall(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.En
 	}
 	s.charge(p, "nfs", costVOP)
 	if st := s.leaseTable()[args.File]; st != nil {
-		delete(st.holders, peer)
+		if _, held := st.holders[peer]; held {
+			delete(st.holders, peer)
+			metrics.Emit(s.Tracer, metrics.LeaseVacate{Peer: peer, File: args.File.String()})
+		}
 		if len(st.holders) == 0 {
 			delete(s.leaseTab, args.File)
 		}

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"renonfs/internal/check"
+	"renonfs/internal/mbuf"
+	"renonfs/internal/memfs"
+	"renonfs/internal/metrics"
+	"renonfs/internal/netsim"
+	"renonfs/internal/nfsproto"
+	"renonfs/internal/rpc"
+	"renonfs/internal/sim"
+	"renonfs/internal/xdr"
+)
+
+// TestLeaseWorkloadCleanUnderAuditor runs a legal lease workload —
+// grant, renewal, shared reads, vacate, expiry, crash and recovery —
+// with the invariant auditor wired to the server's tracer, and demands
+// zero violations: the auditor must not cry wolf on correct behavior,
+// or every chaos-sweep failure report drowns in noise.
+func TestLeaseWorkloadCleanUnderAuditor(t *testing.T) {
+	env := sim.New(3)
+	defer env.Close()
+	nt := netsim.New(env)
+	node := nt.AddNode(netsim.NodeConfig{Name: "srv"})
+	fs := memfs.New(1, nil, nil)
+	opts := Reno()
+	opts.Leases = true
+	opts.LeaseDuration = 10 * time.Second
+	s := New(fs, opts)
+	s.AttachNode(node)
+	aud := check.New(func() time.Duration { return time.Duration(env.Now()) })
+	s.Tracer = aud.Tracer("server")
+	f, _ := fs.Create(nil, fs.Root(), "f", 0644)
+	fh := fs.FH(f)
+
+	var xid uint32 = 20000
+	lease := func(p *sim.Proc, peer string, mode uint32) nfsproto.Status {
+		xid++
+		req := &mbuf.Chain{}
+		rpc.EncodeCall(req, &rpc.Call{XID: xid, Prog: nfsproto.Program, Vers: nfsproto.Version, Proc: nfsproto.ProcLease})
+		(&nfsproto.LeaseArgs{File: fh, Mode: mode, Duration: 10, CallbackPort: 9999}).Encode(xdr.NewEncoder(req))
+		d := xdr.NewDecoder(s.HandleCall(p, peer, req))
+		if _, err := rpc.DecodeReply(d); err != nil {
+			t.Fatalf("decode reply: %v", err)
+		}
+		res, err := nfsproto.DecodeLeaseRes(d)
+		if err != nil {
+			t.Fatalf("decode lease res: %v", err)
+		}
+		return res.Status
+	}
+	vacate := func(p *sim.Proc, peer string) {
+		xid++
+		req := &mbuf.Chain{}
+		rpc.EncodeCall(req, &rpc.Call{XID: xid, Prog: nfsproto.Program, Vers: nfsproto.Version, Proc: nfsproto.ProcVacated})
+		(&nfsproto.VacatedArgs{File: fh}).Encode(xdr.NewEncoder(req))
+		s.HandleCall(p, peer, req)
+	}
+
+	env.Spawn("workload", func(p *sim.Proc) {
+		// A writer takes a lease, renews it mid-term, then vacates.
+		if st := lease(p, "udp:1:9001", nfsproto.LeaseWrite); st != nfsproto.OK {
+			t.Errorf("initial write grant = %v", st)
+		}
+		p.Sleep(3 * time.Second)
+		if st := lease(p, "udp:1:9001", nfsproto.LeaseWrite); st != nfsproto.OK {
+			t.Errorf("renewal = %v", st)
+		}
+		vacate(p, "udp:1:9001")
+		// Two readers share the file.
+		if st := lease(p, "udp:1:9002", nfsproto.LeaseRead); st != nfsproto.OK {
+			t.Errorf("read grant = %v", st)
+		}
+		if st := lease(p, "udp:1:9003", nfsproto.LeaseRead); st != nfsproto.OK {
+			t.Errorf("shared read grant = %v", st)
+		}
+		// Let both read leases expire, then a new writer is legal.
+		p.Sleep(11 * time.Second)
+		if st := lease(p, "udp:1:9004", nfsproto.LeaseWrite); st != nfsproto.OK {
+			t.Errorf("post-expiry write grant = %v", st)
+		}
+		// Reboot: the server must refuse grants for one lease term.
+		s.Crash()
+		if st := lease(p, "udp:1:9005", nfsproto.LeaseWrite); st != nfsproto.ErrTryLater {
+			t.Errorf("grant during recovery = %v, want ErrTryLater", st)
+		}
+		p.Sleep(11 * time.Second)
+		if st := lease(p, "udp:1:9005", nfsproto.LeaseWrite); st != nfsproto.OK {
+			t.Errorf("grant after recovery window = %v", st)
+		}
+	})
+	env.RunAll()
+
+	if vs := aud.Finish(); len(vs) != 0 {
+		t.Fatalf("legal lease workload produced violations: %v", vs)
+	}
+	counts := aud.Counts()
+	if counts["event.lease_grant"] != 6 {
+		t.Errorf("lease_grant events = %d, want 6", counts["event.lease_grant"])
+	}
+	if counts["event.lease_vacate"] != 1 {
+		t.Errorf("lease_vacate events = %d, want 1", counts["event.lease_vacate"])
+	}
+	if counts["event.server_crash"] != 1 {
+		t.Errorf("server_crash events = %d, want 1", counts["event.server_crash"])
+	}
+}
+
+// TestLeaseAuditorCatchesServerBug plants a real violation — a conflicting
+// grant injected straight into the event stream — and checks the auditor
+// reports it (the sensor works end to end, not just on synthetic feeds).
+func TestLeaseAuditorCatchesServerBug(t *testing.T) {
+	env := sim.New(4)
+	defer env.Close()
+	nt := netsim.New(env)
+	node := nt.AddNode(netsim.NodeConfig{Name: "srv"})
+	fs := memfs.New(1, nil, nil)
+	opts := Reno()
+	opts.Leases = true
+	opts.LeaseDuration = 10 * time.Second
+	s := New(fs, opts)
+	s.AttachNode(node)
+	aud := check.New(func() time.Duration { return time.Duration(env.Now()) })
+	tr := aud.Tracer("server")
+	s.Tracer = tr
+	f, _ := fs.Create(nil, fs.Root(), "f", 0644)
+	fh := fs.FH(f)
+
+	env.Spawn("workload", func(p *sim.Proc) {
+		xid := uint32(30000)
+		req := &mbuf.Chain{}
+		rpc.EncodeCall(req, &rpc.Call{XID: xid, Prog: nfsproto.Program, Vers: nfsproto.Version, Proc: nfsproto.ProcLease})
+		(&nfsproto.LeaseArgs{File: fh, Mode: nfsproto.LeaseWrite, Duration: 10, CallbackPort: 9999}).Encode(xdr.NewEncoder(req))
+		s.HandleCall(p, "udp:1:9001", req)
+		// A buggy server would grant a second writer without evicting the
+		// first; emit what such a grant would trace.
+		tr.Event(metrics.LeaseGrant{
+			Peer: "udp:1:9002", File: fh.String(), Write: true, Term: 10 * time.Second,
+		})
+	})
+	env.RunAll()
+
+	found := false
+	for _, v := range aud.Finish() {
+		if v.Rule == "lease-conflict" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("auditor missed a conflicting write grant")
+	}
+	_ = node
+}

@@ -26,6 +26,7 @@ import (
 	"renonfs/internal/nfsproto"
 	"renonfs/internal/rpc"
 	"renonfs/internal/sim"
+	"renonfs/internal/tcpsim"
 	"renonfs/internal/vfs"
 	"renonfs/internal/xdr"
 )
@@ -147,8 +148,13 @@ type Server struct {
 	// exist.
 	noGrantsUntil sim.Time
 	// down simulates a crashed (unresponsive) server: frontends drop
-	// requests, clients retransmit — the statelessness story of §1.
-	down bool
+	// requests, clients retransmit — the statelessness story of §1. It is
+	// atomic because the real-socket frontends (internal/nfsnet) flip it
+	// from goroutines other than the ones serving requests.
+	down atomic.Bool
+	// conns tracks live simulated TCP connections so Crash can reset them
+	// the way a reboot kills established connections.
+	conns map[*tcpsim.Conn]struct{}
 	// MOUNT protocol state (mountd.go).
 	mounts *mountState
 	// Write-gathering state: per-file end of the current metadata window.
@@ -168,14 +174,26 @@ func (s *Server) Crash() {
 	s.dupc = newDupCache(s.Opts.DupCacheSize)
 	s.leaseTab = nil
 	s.noGrantsUntil = s.now() + s.leaseDuration()
+	s.AbortTCPConns()
+	metrics.Emit(s.Tracer, metrics.ServerCrash{RecoverFor: time.Duration(s.leaseDuration())})
+}
+
+// AbortTCPConns resets every live simulated TCP connection, as a reboot
+// would. Clients see the reset (or an RST on their next segment) and
+// reconnect, replaying pending calls.
+func (s *Server) AbortTCPConns() {
+	for c := range s.conns {
+		c.Abort()
+	}
+	s.conns = nil
 }
 
 // SetDown makes the frontends silently drop requests (true) or serve
 // normally (false).
-func (s *Server) SetDown(down bool) { s.down = down }
+func (s *Server) SetDown(down bool) { s.down.Store(down) }
 
 // Down reports whether the server is dropping requests.
-func (s *Server) Down() bool { return s.down }
+func (s *Server) Down() bool { return s.down.Load() }
 
 // New creates a server over fs.
 func New(fs *memfs.FS, opts Options) *Server {

@@ -49,16 +49,19 @@ var ErrClosed = errors.New("tcpsim: connection closed")
 
 // seg is the TCP header carried in Datagram.Meta.
 type seg struct {
-	SYN, ACK, FIN bool
-	Seq           uint64
-	Ack           uint64
-	Win           int
+	SYN, ACK, FIN, RST bool
+	Seq                uint64
+	Ack                uint64
+	Win                int
 }
 
 func (s *seg) String() string {
 	fl := ""
 	if s.SYN {
 		fl += "S"
+	}
+	if s.RST {
+		fl += "R"
 	}
 	if s.ACK {
 		fl += "."
@@ -143,7 +146,19 @@ func (l *Listener) run(p *sim.Proc) {
 		c := l.conns[key]
 		if c == nil {
 			if !m.SYN || m.ACK {
-				continue // no RSTs in the model; stray segments drop
+				// A segment for a connection we no longer know (e.g. the
+				// peer kept talking across our crash): answer with RST so
+				// it aborts and reconnects, instead of retransmitting into
+				// a void forever.
+				if !m.RST {
+					l.stack.node.SendDatagram(p, &netsim.Datagram{
+						Src: l.stack.node.ID, Dst: dg.Src, Proto: netsim.ProtoTCP,
+						SrcPort: l.port, DstPort: dg.SrcPort,
+						HeaderBytes: 20,
+						Meta:        &seg{RST: true, ACK: true, Seq: m.Ack, Ack: m.Seq + uint64(dg.Len())},
+					})
+				}
+				continue
 			}
 			c = newConn(l.stack, l.port, dg.Src, dg.SrcPort)
 			c.listener = l
@@ -272,7 +287,7 @@ func (st *Stack) Dial(p *sim.Proc, remote netsim.NodeID, rport int) (*Conn, erro
 	c.q = st.node.Bind(netsim.ProtoTCP, port)
 	st.env.Spawn(c.name, c.run)
 	c.kick()
-	if !c.established.WaitTimeout(p, ConnectTimeout) {
+	if !c.established.WaitTimeout(p, ConnectTimeout) || c.state == stateClosed {
 		c.Abort()
 		return nil, ErrTimeout
 	}
@@ -342,6 +357,8 @@ func (c *Conn) teardown() {
 	c.state = stateClosed
 	c.rcvQ.Close()
 	c.sendCond.Broadcast()
+	// Wake any Dial blocked on the handshake; it re-checks the state.
+	c.established.Set()
 	if c.ownsPort {
 		c.node.Unbind(netsim.ProtoTCP, c.localPort)
 	}
@@ -661,6 +678,14 @@ func (c *Conn) input(p *sim.Proc, dg *netsim.Datagram) {
 	c.Stats.SegsIn++
 	payloadLen := dg.Len()
 	c.Stats.BytesIn += payloadLen
+
+	if m.RST {
+		// Connection reset by peer: tear down immediately. Stale RSTs
+		// cannot hit a later incarnation — every active connection binds a
+		// fresh ephemeral port.
+		c.teardown()
+		return
+	}
 
 	if m.SYN {
 		switch c.state {

@@ -475,3 +475,79 @@ func TestStreamPropertyUnderRandomConditions(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestResetOnForgottenConnection: when the peer silently loses its
+// connection state (Abort sends nothing — the model of a server reboot),
+// our next transmission hits its listener as a segment for an unknown
+// connection. The listener must answer RST and that RST must tear our
+// endpoint down, so a caller blocked on Recv wakes instead of hanging
+// forever.
+func TestResetOnForgottenConnection(t *testing.T) {
+	env, sa, sb := testbed(t, 7, 0, nil)
+	l := sb.Listen(2049)
+	var srv *Conn
+	env.Spawn("accept", func(p *sim.Proc) {
+		srv, _ = l.Accept(p)
+	})
+	var recvOK, sawReset bool
+	env.Spawn("client", func(p *sim.Proc) {
+		c, err := sa.Dial(p, sb.Node().ID, 2049)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		if err := c.Send(p, mbuf.FromBytes([]byte("ping"))); err != nil {
+			t.Errorf("send: %v", err)
+			return
+		}
+		p.Sleep(time.Second)
+		// The server forgets the connection without telling us.
+		srv.Abort()
+		// Our next transmission draws an RST from the listener.
+		_ = c.Send(p, mbuf.FromBytes([]byte("hello?")))
+		p.Sleep(5 * time.Second)
+		sawReset = c.state == stateClosed
+		_, recvOK = c.Recv(p)
+	})
+	env.Run(30 * time.Second)
+	if !sawReset {
+		t.Fatal("client connection not reset after peer forgot it")
+	}
+	if recvOK {
+		t.Fatal("Recv returned data on a reset connection")
+	}
+}
+
+// TestNoRSTStorm: an RST must never be answered with another RST (the
+// classic reflection loop). Two stacks that both forgot a connection
+// exchange at most one reset.
+func TestNoRSTStorm(t *testing.T) {
+	env, sa, sb := testbed(t, 9, 0, nil)
+	l := sb.Listen(2049)
+	env.Spawn("accept", func(p *sim.Proc) {
+		for {
+			if _, ok := l.Accept(p); !ok {
+				return
+			}
+		}
+	})
+	env.Spawn("client", func(p *sim.Proc) {
+		c, err := sa.Dial(p, sb.Node().ID, 2049)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		if err := c.Send(p, mbuf.FromBytes([]byte("x"))); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	})
+	env.Run(2 * time.Second)
+	before := sa.Node().Stats.PktsOut + sb.Node().Stats.PktsOut
+	env.Run(60 * time.Second)
+	after := sa.Node().Stats.PktsOut + sb.Node().Stats.PktsOut
+	// An idle established connection exchanges nothing; if RSTs reflected
+	// we would see unbounded traffic here.
+	if after-before > 4 {
+		t.Fatalf("idle connection produced %d frames in a minute", after-before)
+	}
+}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"time"
 
 	"renonfs/internal/mbuf"
 	"renonfs/internal/metrics"
@@ -12,6 +13,18 @@ import (
 	"renonfs/internal/tcpsim"
 	"renonfs/internal/xdr"
 )
+
+// DefaultReplyTimeout is how long a TCP call may stay outstanding before
+// the transport concludes the reply was lost along with the server's
+// connection state (a reboot whose RST never arrived) and aborts the
+// connection to force a reconnect and replay. TCP keeps the data stream
+// reliable, but it cannot resurrect a reply the server forgot it owed us.
+const DefaultReplyTimeout = 30 * time.Second
+
+// tcpReconnectAttempts bounds redial attempts after a connection loss
+// before pending calls are failed (each attempt itself waits out the
+// 75 s connect timeout, so this is a generous hard-mount budget).
+const tcpReconnectAttempts = 8
 
 // TCP is the stream transport: one connection per mount, record marks
 // between messages, reliability delegated to TCP itself. If the connection
@@ -34,6 +47,8 @@ type TCP struct {
 	// Tracer mirrors UDPConfig.Tracer: typed RPC lifecycle events (calls,
 	// replies, replays after a reconnect).
 	Tracer metrics.Tracer
+	// ReplyTimeout overrides DefaultReplyTimeout when set.
+	ReplyTimeout sim.Time
 }
 
 type tcpPending struct {
@@ -52,17 +67,43 @@ type tcpPending struct {
 // process for the handshake.
 func NewTCP(p *sim.Proc, stack *tcpsim.Stack, server netsim.NodeID, port int) (*TCP, error) {
 	t := &TCP{
-		env:       stack.Node().Net().Env,
-		stack:     stack,
-		server:    server,
-		port:      port,
-		pending:   make(map[uint32]*tcpPending),
-		TraceProc: -1,
+		env:          stack.Node().Net().Env,
+		stack:        stack,
+		server:       server,
+		port:         port,
+		pending:      make(map[uint32]*tcpPending),
+		TraceProc:    -1,
+		ReplyTimeout: DefaultReplyTimeout,
 	}
 	if err := t.connect(p); err != nil {
 		return nil, err
 	}
+	t.env.Spawn(fmt.Sprintf("%s.tcprpc-watchdog", stack.Node().Name), t.watchdog)
 	return t, nil
+}
+
+// watchdog aborts the connection when a call has been outstanding past
+// ReplyTimeout. That covers the one loss TCP's reliability cannot: the
+// server rebooted after acking our request, its RST to us was lost, and
+// with no unacked data on the wire neither side will ever transmit again.
+// Aborting wakes rxLoop, which reconnects and replays the pending calls.
+func (t *TCP) watchdog(p *sim.Proc) {
+	for {
+		p.Sleep(t.ReplyTimeout / 4)
+		if t.closed {
+			return
+		}
+		overdue := false
+		for _, pc := range t.pending {
+			if !pc.done.IsSet() && p.Now()-pc.sentAt > t.ReplyTimeout {
+				overdue = true
+				break
+			}
+		}
+		if overdue && t.conn != nil {
+			t.conn.Abort()
+		}
+	}
 }
 
 func (t *TCP) connect(p *sim.Proc) error {
@@ -87,7 +128,11 @@ func (t *TCP) Close() {
 	}
 	t.closed = true
 	for _, pc := range t.pending {
+		if pc.done.IsSet() {
+			continue
+		}
 		pc.err = ErrClosed
+		metrics.Emit(t.Tracer, metrics.CallFailed{Proc: pc.proc, XID: pc.xid, Reason: "closed"})
 		pc.done.Set()
 	}
 	t.pending = make(map[uint32]*tcpPending)
@@ -118,6 +163,7 @@ func (t *TCP) CallProgram(p *sim.Proc, prog, vers, proc uint32, args func(e *xdr
 	if err := t.sendOne(p, pc); err != nil {
 		delete(t.pending, pc.xid)
 		t.stats.Failures++
+		metrics.Emit(t.Tracer, metrics.CallFailed{Proc: proc, XID: pc.xid, Reason: "send"})
 		return nil, err
 	}
 	pc.done.Wait(p)
@@ -177,20 +223,40 @@ func (t *TCP) rxLoop(p *sim.Proc, conn *tcpsim.Conn) {
 	if t.closed {
 		return
 	}
-	// Connection lost: reconnect and replay pending requests.
-	if err := t.connect(p); err != nil {
-		for _, pc := range t.pending {
-			pc.err = err
-			pc.done.Set()
+	// Connection lost: reconnect and replay pending requests. A hard
+	// mount rides out long outages, so redial a few times before giving
+	// up on the calls in flight.
+	var connErr error
+	for attempt := 0; ; attempt++ {
+		if t.closed {
+			return
 		}
-		return
+		if connErr = t.connect(p); connErr == nil {
+			break
+		}
+		if attempt+1 >= tcpReconnectAttempts {
+			for _, pc := range t.pending {
+				if pc.done.IsSet() {
+					continue
+				}
+				pc.err = connErr
+				metrics.Emit(t.Tracer, metrics.CallFailed{Proc: pc.proc, XID: pc.xid, Reason: "reconnect-failed"})
+				pc.done.Set()
+			}
+			return
+		}
+		p.Sleep(time.Second)
 	}
 	for _, pc := range t.pending {
 		if !pc.done.IsSet() {
 			t.stats.Retries++
 			metrics.Emit(t.Tracer, metrics.Retransmit{Proc: pc.proc, XID: pc.xid, Backoff: 1})
+			// Restart the reply clock: RTT then measures the replay's
+			// round trip, and the watchdog times the new transmission.
+			pc.sentAt = p.Now()
 			if err := t.sendOne(p, pc); err != nil {
 				pc.err = err
+				metrics.Emit(t.Tracer, metrics.CallFailed{Proc: pc.proc, XID: pc.xid, Reason: "send"})
 				pc.done.Set()
 			}
 		}

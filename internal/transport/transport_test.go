@@ -391,3 +391,43 @@ func TestTCPReconnectAfterConnLoss(t *testing.T) {
 		t.Fatalf("firstOK=%v secondOK=%v", firstOK, secondOK)
 	}
 }
+
+// TestTCPReplyTimeoutRecoversSilentOutage models the one loss TCP cannot
+// recover on its own: the server acks our request bytes, then reboots and
+// its connection state — and any RST it might have sent — is gone. With no
+// unacked data on either side, nothing would ever be transmitted again.
+// The transport's reply-timeout watchdog must abort, redial and replay
+// until the server answers.
+func TestTCPReplyTimeoutRecoversSilentOutage(t *testing.T) {
+	r := newRig(t, 23, netsim.TopoLAN, nil)
+	var ok bool
+	var retries int
+	r.env.Spawn("client", func(p *sim.Proc) {
+		tr, err := NewTCP(p, tcpsim.NewStack(r.tb.Client), r.tb.Server.ID, server.NFSPort)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		// Server goes down hard: frontends drop every request and its
+		// connections die silently.
+		r.srv.SetDown(true)
+		r.srv.AbortTCPConns()
+		r.env.At(p.Now()+60*time.Second, func() { r.srv.SetDown(false) })
+		proc, args := lookupCall(r, "file-00")
+		d, err := tr.Call(p, proc, args)
+		if err != nil {
+			t.Errorf("call: %v", err)
+			return
+		}
+		res, _ := nfsproto.DecodeDiropRes(d)
+		ok = res != nil && res.Status == nfsproto.OK
+		retries = tr.Stats().Retries
+	})
+	r.env.Run(10 * time.Minute)
+	if !ok {
+		t.Fatal("call never completed after the server came back")
+	}
+	if retries == 0 {
+		t.Fatal("expected watchdog-driven replays across the outage")
+	}
+}

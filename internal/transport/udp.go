@@ -161,7 +161,11 @@ func (t *UDP) Close() {
 	}
 	t.closed = true
 	for _, pc := range t.pending {
+		if pc.done.IsSet() {
+			continue
+		}
 		pc.err = ErrClosed
+		metrics.Emit(t.cfg.Tracer, metrics.CallFailed{Proc: dgProc(t, pc.xid), XID: pc.xid, Reason: "closed"})
 		pc.done.Set()
 	}
 	t.pending = make(map[uint32]*udpPending)
@@ -344,6 +348,7 @@ func (t *UDP) timerLoop(p *sim.Proc) {
 			}
 			if pc.backoff >= t.cfg.Retrans {
 				pc.err = ErrCallTimeout
+				metrics.Emit(t.cfg.Tracer, metrics.CallFailed{Proc: dgProc(t, pc.xid), XID: pc.xid, Reason: "timeout"})
 				pc.done.Set()
 				continue
 			}

@@ -191,6 +191,11 @@ func (r *Rig) Mount(p *sim.Proc, kind TransportKind, opts client.Options) (*clie
 	return client.NewMount(r.Net.Client, tr, r.Server.RootFH(), opts), nil
 }
 
+// Tracer returns the rig-wide lifecycle tracer, so callers can compose it
+// with their own (e.g. the invariant auditor in internal/check) via
+// metrics.MultiTracer when wiring transports by hand.
+func (r *Rig) Tracer() metrics.Tracer { return r.tracer }
+
 // Run advances the simulation to the horizon.
 func (r *Rig) Run(d sim.Time) sim.Time { return r.Env.Run(d) }
 
