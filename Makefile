@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race chaos fuzz-smoke vet bench
+.PHONY: build test race chaos fuzz-smoke vet bench bench-smoke profile
 
 build:
 	$(GO) build ./...
@@ -31,3 +31,17 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x ./...
+
+# One iteration of every benchmark plus the allocation-budget tests: keeps
+# the bench code honest and fails on per-call allocation or copy regressions
+# against BENCH_baseline.json.
+bench-smoke:
+	$(GO) test -run 'TestAllocBudget|TestReadReplyZeroCopy' -bench=. -benchmem -benchtime 1x .
+
+# Profile a representative experiment run with pprof; start perf work here,
+# the way the paper's tuning started from kernel profiles.
+PROFILE_EXP ?= graph2
+profile:
+	$(GO) run ./cmd/nfsbench -exp $(PROFILE_EXP) -quick \
+		-cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "view with: go tool pprof cpu.pprof (or mem.pprof)"

@@ -1,0 +1,169 @@
+package renonfs_test
+
+// Allocation-budget regression tests: the zero-copy buffer path (pooled
+// mbufs, loaned file blocks, view-based dissection) is only worth having if
+// it stays zero-copy. These tests lock in the per-call allocation counts for
+// the two hot RPCs and the no-copy property of the contiguous Read-reply
+// path, so a regression fails CI instead of quietly re-inflating the
+// per-call garbage the paper's §3 profile complains about.
+
+import (
+	"testing"
+
+	"renonfs/internal/mbuf"
+	"renonfs/internal/memfs"
+	"renonfs/internal/nfsproto"
+	"renonfs/internal/rpc"
+	"renonfs/internal/server"
+	"renonfs/internal/xdr"
+)
+
+// Budgets are measured steady-state counts plus one alloc of headroom.
+// For reference, the pre-pooling substrate measured 15 allocs/op for the
+// LOOKUP dispatch and 17 for the 8 KB READ round trip (see
+// BENCH_baseline.json), so these budgets also document the win.
+const (
+	lookupAllocBudget = 8
+	read8KAllocBudget = 8
+)
+
+// warmServer builds a server with one 8 KB file, runs a few calls of each
+// kind to fill the mbuf pools and the dup-cache LRU to steady state, and
+// returns the handles the measurement loops need.
+func warmServer(t testing.TB) (s *server.Server, rootFH, fileFH nfsproto.FH) {
+	fs := memfs.New(1, nil, nil)
+	s = server.New(fs, server.Reno())
+	f, err := fs.Create(nil, fs.Root(), "data", 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteAt(nil, f, 0, make([]byte, 8192), 0); err != nil {
+		t.Fatal(err)
+	}
+	return s, s.RootFH(), fs.FH(f)
+}
+
+// lookupOnce runs one LOOKUP build/dispatch/dissect round trip and frees the
+// chains so pooled storage recycles.
+func lookupOnce(t testing.TB, s *server.Server, root nfsproto.FH, xid uint32) {
+	req := &mbuf.Chain{}
+	rpc.EncodeCall(req, &rpc.Call{XID: xid, Prog: nfsproto.Program, Vers: nfsproto.Version, Proc: nfsproto.ProcLookup})
+	(&nfsproto.DiropArgs{Dir: root, Name: "data"}).Encode(xdr.NewEncoder(req))
+	rep := s.HandleCall(nil, "alloc-peer", req)
+	if rep == nil {
+		t.Fatal("nil LOOKUP reply")
+	}
+	d := xdr.NewDecoder(rep)
+	if _, err := rpc.DecodeReply(d); err != nil {
+		t.Fatal(err)
+	}
+	res, err := nfsproto.DecodeDiropRes(d)
+	if err != nil || res.Status != nfsproto.OK {
+		t.Fatalf("LOOKUP: status %v err %v", res.Status, err)
+	}
+	req.Free()
+	rep.Free()
+}
+
+// readOnce runs one 8 KB READ build/dispatch/dissect round trip, returning
+// the payload length seen by the dissected reply.
+func readOnce(t testing.TB, s *server.Server, fh nfsproto.FH, xid uint32) {
+	req := &mbuf.Chain{}
+	rpc.EncodeCall(req, &rpc.Call{XID: xid, Prog: nfsproto.Program, Vers: nfsproto.Version, Proc: nfsproto.ProcRead})
+	(&nfsproto.ReadArgs{File: fh, Offset: 0, Count: 8192}).Encode(xdr.NewEncoder(req))
+	rep := s.HandleCall(nil, "alloc-peer", req)
+	if rep == nil {
+		t.Fatal("nil READ reply")
+	}
+	d := xdr.NewDecoder(rep)
+	if _, err := rpc.DecodeReply(d); err != nil {
+		t.Fatal(err)
+	}
+	res, err := nfsproto.DecodeReadRes(d)
+	if err != nil || res.Status != nfsproto.OK {
+		t.Fatalf("READ: status %v err %v", res.Status, err)
+	}
+	if res.Data.Len() != 8192 {
+		t.Fatalf("READ returned %d bytes, want 8192", res.Data.Len())
+	}
+	res.Data.Free()
+	req.Free()
+	rep.Free()
+}
+
+func TestAllocBudgetLookupDispatch(t *testing.T) {
+	s, root, _ := warmServer(t)
+	xid := uint32(0)
+	for i := 0; i < 32; i++ { // fill pools and dup-cache before measuring
+		xid++
+		lookupOnce(t, s, root, xid)
+	}
+	got := testing.AllocsPerRun(200, func() {
+		xid++
+		lookupOnce(t, s, root, xid)
+	})
+	t.Logf("LOOKUP round trip: %.1f allocs/op (budget %d)", got, lookupAllocBudget)
+	if got > lookupAllocBudget {
+		t.Errorf("LOOKUP round trip allocates %.1f/op, budget is %d", got, lookupAllocBudget)
+	}
+}
+
+func TestAllocBudgetRead8K(t *testing.T) {
+	s, _, fh := warmServer(t)
+	xid := uint32(0)
+	for i := 0; i < 32; i++ {
+		xid++
+		readOnce(t, s, fh, xid)
+	}
+	got := testing.AllocsPerRun(200, func() {
+		xid++
+		readOnce(t, s, fh, xid)
+	})
+	t.Logf("8 KB READ round trip: %.1f allocs/op (budget %d)", got, read8KAllocBudget)
+	if got > read8KAllocBudget {
+		t.Errorf("8 KB READ round trip allocates %.1f/op, budget is %d", got, read8KAllocBudget)
+	}
+}
+
+// TestReadReplyZeroCopy pins the headline property: serving a contiguous
+// 8 KB READ moves no payload bytes on the server side. The reply loans the
+// file's blocks into the chain (AppendExt) and the XDR layer reserves header
+// fields in place, so mbuf.Stats.CopiedBytes must not advance across
+// HandleCall. (The client-side CopyTo/Bytes of the payload still copies, as
+// a real NIC DMA would; only the server path is required to be copy-free.)
+func TestReadReplyZeroCopy(t *testing.T) {
+	s, _, fh := warmServer(t)
+	for xid := uint32(1); xid <= 4; xid++ { // warm caches outside the window
+		readOnce(t, s, fh, xid)
+	}
+
+	req := &mbuf.Chain{}
+	rpc.EncodeCall(req, &rpc.Call{XID: 99, Prog: nfsproto.Program, Vers: nfsproto.Version, Proc: nfsproto.ProcRead})
+	(&nfsproto.ReadArgs{File: fh, Offset: 0, Count: 8192}).Encode(xdr.NewEncoder(req))
+
+	before := mbuf.Stats.CopiedBytes.Load()
+	rep := s.HandleCall(nil, "zero-copy-peer", req)
+	copied := mbuf.Stats.CopiedBytes.Load() - before
+
+	if rep == nil {
+		t.Fatal("nil READ reply")
+	}
+	if copied != 0 {
+		t.Errorf("server copied %d bytes serving a contiguous 8 KB READ, want 0", copied)
+	}
+	d := xdr.NewDecoder(rep)
+	if _, err := rpc.DecodeReply(d); err != nil {
+		t.Fatal(err)
+	}
+	res, err := nfsproto.DecodeReadRes(d)
+	if err != nil || res.Status != nfsproto.OK || res.Data.Len() != 8192 {
+		t.Fatalf("READ: err %v status %v len %d", err, res.Status, res.Data.Len())
+	}
+	loaned := mbuf.Stats.LoanedBytes.Load()
+	if loaned == 0 {
+		t.Error("READ reply loaned no bytes; expected the file blocks on loan")
+	}
+	res.Data.Free()
+	req.Free()
+	rep.Free()
+}

@@ -7,16 +7,21 @@
 //	nfsbench -exp graph1            # one experiment
 //	nfsbench -exp all               # everything, paper order
 //	nfsbench -exp table5 -quick     # scaled-down run
+//	nfsbench -exp graph1 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Output is plain text, one table per experiment, in the same shape as the
 // paper's tables/graph data. EXPERIMENTS.md records how each compares to
-// the published numbers.
+// the published numbers. The -cpuprofile/-memprofile flags write pprof
+// profiles of the run (`make profile` wraps this), so perf work starts from
+// a profile the way the paper's did.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"renonfs"
@@ -24,10 +29,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		quick = flag.Bool("quick", false, "scaled-down durations and point counts")
-		seed  = flag.Int64("seed", 1991, "random seed")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp        = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		quick      = flag.Bool("quick", false, "scaled-down durations and point counts")
+		seed       = flag.Int64("seed", 1991, "random seed")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -37,6 +44,21 @@ func main() {
 		}
 		return
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nfsbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "nfsbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memprofile)
 
 	cfg := renonfs.ExpConfig{Quick: *quick, Seed: *seed}
 	run := func(e renonfs.Experiment) {
@@ -62,4 +84,21 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "nfsbench: unknown experiment %q (try -list)\n", *exp)
 	os.Exit(1)
+}
+
+// writeMemProfile dumps an up-to-date heap/allocation profile, if requested.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nfsbench: -memprofile: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // materialize the final allocation state
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "nfsbench: -memprofile: %v\n", err)
+	}
 }

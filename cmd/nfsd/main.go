@@ -30,7 +30,6 @@ import (
 	"strings"
 
 	"renonfs/internal/memfs"
-	"renonfs/internal/metrics"
 	"renonfs/internal/nfsnet"
 	"renonfs/internal/nfsproto"
 	"renonfs/internal/server"
@@ -76,7 +75,7 @@ func main() {
 	fmt.Printf("nfsd (%s personality) serving\n  udp %s\n  tcp %s\n  exports %s\n  root fh %x (or MNT \"/\" via the MOUNT protocol)\n",
 		opts.Name, s.UDPAddr(), s.TCPAddr(), *exports, rootFH[:12])
 	if *statsAddr != "" {
-		go serveStats(*statsAddr, srv.Metrics)
+		go serveStats(*statsAddr, srv)
 		fmt.Printf("  stats http://%s/stats (poll with cmd/nfsstat)\n", *statsAddr)
 	}
 	fmt.Println("^C to stop")
@@ -89,14 +88,19 @@ func main() {
 }
 
 // serveStats exposes the registry over HTTP. Snapshots read atomics only,
-// so serving concurrently with request handling needs no locking.
-func serveStats(addr string, reg *metrics.Registry) {
+// so serving concurrently with request handling needs no locking; the mbuf
+// pool/copy counters are mirrored into the registry on each request so
+// nfsstat sees the live copy-avoidance numbers.
+func serveStats(addr string, srv *server.Server) {
+	reg := srv.Metrics
 	mux := http.NewServeMux()
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		srv.PublishMbufStats()
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(reg.Snapshot())
 	})
 	mux.HandleFunc("/stats.txt", func(w http.ResponseWriter, r *http.Request) {
+		srv.PublishMbufStats()
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		reg.Snapshot().WriteText(w)
 	})
@@ -108,6 +112,7 @@ func serveStats(addr string, reg *metrics.Registry) {
 // printFinal renders the shutdown summary: one row per procedure that was
 // called, with its service-time distribution, then the totals.
 func printFinal(srv *server.Server) {
+	srv.PublishMbufStats()
 	snap := srv.Metrics.Snapshot()
 	tb := stats.NewTable("per-procedure totals",
 		"proc", "calls", "svc mean ms", "p50", "p99", "max")
@@ -127,4 +132,7 @@ func printFinal(srv *server.Server) {
 	fmt.Printf("totals: %d calls, %d errors, %d duplicate replays suppressed, %d bytes in, %d bytes out\n",
 		srv.Stats.Total(), srv.Stats.Errors.Load(), srv.Stats.DupHits.Load(),
 		srv.Stats.BytesIn.Load(), srv.Stats.BytesOut.Load())
+	fmt.Printf("mbuf: %d bytes copied, %d bytes loaned, pool %d hits / %d misses\n",
+		snap.Counters["mbuf.copied_bytes"], snap.Counters["mbuf.loaned_bytes"],
+		snap.Counters["mbuf.pool_hits"], snap.Counters["mbuf.pool_misses"])
 }

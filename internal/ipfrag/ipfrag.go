@@ -21,36 +21,56 @@ type Frag struct {
 	More bool // more fragments follow
 }
 
-// Split returns the fragment ranges for a payload of total bytes over a
-// link accepting at most mtu payload bytes per fragment. A total of zero
-// yields a single empty fragment (a datagram with no payload still needs a
-// packet).
-func Split(total, mtu int) []Frag {
+// perFrag returns the payload bytes each fragment carries for an mtu. IP
+// requires fragment offsets in 8-byte units; round the per-fragment payload
+// down accordingly, as real stacks do.
+func perFrag(mtu int) int {
 	if mtu <= 0 {
 		panic("ipfrag: non-positive MTU")
 	}
-	if total == 0 {
-		return []Frag{{Off: 0, Len: 0, More: false}}
-	}
-	// IP requires fragment offsets in 8-byte units; round the per-fragment
-	// payload down accordingly, as real stacks do.
 	per := mtu &^ 7
 	if per == 0 {
 		per = mtu
 	}
-	var out []Frag
+	return per
+}
+
+// ForEach calls fn for each fragment of a payload of total bytes over a link
+// accepting at most mtu payload bytes per fragment, without allocating a
+// slice — the form the per-packet transmit path uses. A total of zero yields
+// a single empty fragment (a datagram with no payload still needs a packet).
+func ForEach(total, mtu int, fn func(f Frag)) {
+	if total == 0 {
+		fn(Frag{Off: 0, Len: 0, More: false})
+		return
+	}
+	per := perFrag(mtu)
 	for off := 0; off < total; off += per {
 		n := total - off
 		if n > per {
 			n = per
 		}
-		out = append(out, Frag{Off: off, Len: n, More: off+n < total})
+		fn(Frag{Off: off, Len: n, More: off+n < total})
 	}
+}
+
+// Split returns the fragment ranges for a payload of total bytes over a
+// link accepting at most mtu payload bytes per fragment.
+func Split(total, mtu int) []Frag {
+	out := make([]Frag, 0, NumFrags(total, mtu))
+	ForEach(total, mtu, func(f Frag) { out = append(out, f) })
 	return out
 }
 
-// NumFrags returns how many fragments Split would produce.
-func NumFrags(total, mtu int) int { return len(Split(total, mtu)) }
+// NumFrags returns how many fragments Split would produce, by arithmetic
+// rather than by materializing them.
+func NumFrags(total, mtu int) int {
+	per := perFrag(mtu)
+	if total == 0 {
+		return 1
+	}
+	return (total + per - 1) / per
+}
 
 // Key identifies a datagram under reassembly: (source, datagram id).
 type Key struct {
@@ -77,6 +97,25 @@ type state struct {
 func (st *state) add(off, end int) {
 	if end <= off {
 		return
+	}
+	// Fast path: fragments normally arrive in order, so the new range
+	// extends (or repeats) the last span — no rebuild needed.
+	if len(st.spans) == 0 {
+		st.spans = append(st.spans, span{off, end})
+		return
+	}
+	if n := len(st.spans); n > 0 {
+		last := &st.spans[n-1]
+		if off >= last.off && off <= last.end {
+			if end > last.end {
+				last.end = end
+			}
+			return
+		}
+		if off > last.end {
+			st.spans = append(st.spans, span{off, end})
+			return
+		}
 	}
 	merged := make([]span, 0, len(st.spans)+1)
 	placed := false

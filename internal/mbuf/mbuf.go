@@ -8,8 +8,16 @@
 // way nfsm_build does, and a Dissector walks a chain the way nfsm_disect
 // does, copying only when a field straddles an mbuf boundary.
 //
-// The package keeps global counters of memory-to-memory copy traffic so the
-// experiments in §3 of the paper (copy avoidance) can be observed directly.
+// Beyond the seed implementation the package now also reproduces the two
+// allocation disciplines §3 of the paper leans on: mbuf storage is pooled on
+// per-kind free lists with explicit Chain.Free and reference-counted views
+// (pool.go), and external storage — a buffer-cache page, in our case a memfs
+// file block — can be loaned into a chain without copying via AppendExt, the
+// analogue of BSD cluster loaning.
+//
+// The package keeps global counters of memory-to-memory copy traffic, pool
+// behaviour and loaned bytes so the experiments in §3 of the paper (copy
+// avoidance) can be observed directly.
 package mbuf
 
 import "sync/atomic"
@@ -26,10 +34,20 @@ type Counters struct {
 	// CopiedBytes counts bytes moved by memory-to-memory copies performed
 	// by this package (linearization, boundary-straddling reads, FromBytes).
 	CopiedBytes atomic.Int64
-	// SmallAllocs and ClusterAllocs count mbuf allocations by kind.
+	// SmallAllocs and ClusterAllocs count mbuf allocations by kind
+	// (including pool hits; PoolMisses counts the ones that reached the Go
+	// allocator).
 	SmallAllocs   atomic.Int64
 	ClusterAllocs atomic.Int64
-	// Views counts zero-copy range references created by Chain.Range.
+	// PoolHits and PoolMisses count free-list behaviour of the small and
+	// cluster allocators.
+	PoolHits   atomic.Int64
+	PoolMisses atomic.Int64
+	// LoanedBytes counts bytes of external storage grafted into chains by
+	// AppendExt without copying (the cluster-loaning path).
+	LoanedBytes atomic.Int64
+	// Views counts zero-copy range references created by Chain.Range and
+	// Dissector.NextChain.
 	Views atomic.Int64
 }
 
@@ -41,7 +59,36 @@ func (c *Counters) Reset() {
 	c.CopiedBytes.Store(0)
 	c.SmallAllocs.Store(0)
 	c.ClusterAllocs.Store(0)
+	c.PoolHits.Store(0)
+	c.PoolMisses.Store(0)
+	c.LoanedBytes.Store(0)
 	c.Views.Store(0)
+}
+
+// StatsSnapshot is a plain-value copy of the package counters, for metrics
+// export (nfsd -stats, nfsstat) and test assertions.
+type StatsSnapshot struct {
+	CopiedBytes   int64
+	SmallAllocs   int64
+	ClusterAllocs int64
+	PoolHits      int64
+	PoolMisses    int64
+	LoanedBytes   int64
+	Views         int64
+}
+
+// Snapshot reads every counter atomically (each value individually, the
+// nfsstat guarantee).
+func (c *Counters) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		CopiedBytes:   c.CopiedBytes.Load(),
+		SmallAllocs:   c.SmallAllocs.Load(),
+		ClusterAllocs: c.ClusterAllocs.Load(),
+		PoolHits:      c.PoolHits.Load(),
+		PoolMisses:    c.PoolMisses.Load(),
+		LoanedBytes:   c.LoanedBytes.Load(),
+		Views:         c.Views.Load(),
+	}
 }
 
 // Mbuf is one buffer in a chain. Data occupies buf[off : off+len].
@@ -51,18 +98,19 @@ type Mbuf struct {
 	dlen    int
 	cluster bool
 	next    *Mbuf
-}
 
-// newSmall allocates a small mbuf.
-func newSmall() *Mbuf {
-	Stats.SmallAllocs.Add(1)
-	return &Mbuf{buf: make([]byte, MLen)}
-}
-
-// newCluster allocates a cluster mbuf.
-func newCluster() *Mbuf {
-	Stats.ClusterAllocs.Add(1)
-	return &Mbuf{buf: make([]byte, ClBytes), cluster: true}
+	// Storage ownership (see pool.go). refs counts the chains and views
+	// referencing this mbuf's storage when it is the owner; owner points at
+	// the storage-owning mbuf for views; pooled marks storage that returns
+	// to a free list on the last release; ext marks loaned, caller-owned
+	// storage that a Builder must never extend into; hdr marks a bare
+	// header struct (view or loan, no storage of its own) that recycles
+	// through the header free list.
+	refs   atomic.Int32
+	owner  *Mbuf
+	pooled bool
+	ext    bool
+	hdr    bool
 }
 
 // Len returns the number of valid data bytes in the mbuf.
@@ -73,6 +121,24 @@ func (m *Mbuf) Cluster() bool { return m.cluster }
 
 // Data returns the valid data bytes. The slice aliases the mbuf storage.
 func (m *Mbuf) Data() []byte { return m.buf[m.off : m.off+m.dlen] }
+
+// extern reports whether the mbuf's data area must not be extended by a
+// Builder: views and loaned storage both share bytes beyond dlen with
+// someone else.
+func (m *Mbuf) extern() bool { return m.ext || m.owner != nil }
+
+// viewOf returns a view mbuf referencing n bytes of m's data starting at
+// data offset off, taking a storage reference on m's owner.
+func viewOf(m *Mbuf, off, n int) *Mbuf {
+	o := m
+	if m.owner != nil {
+		o = m.owner
+	}
+	o.refs.Add(1)
+	v := newHdr()
+	v.buf, v.off, v.dlen, v.cluster, v.owner = m.buf, m.off+off, n, m.cluster, o
+	return v
+}
 
 // Chain is a list of mbufs holding a logical byte sequence.
 type Chain struct {
@@ -95,14 +161,47 @@ func (c *Chain) Segments() int {
 	return n
 }
 
+// ForEach calls fn once per mbuf with its data slice, in order. The slices
+// alias chain storage and are valid only while the chain is.
+func (c *Chain) ForEach(fn func(b []byte)) {
+	for m := c.head; m != nil; m = m.next {
+		if m.dlen > 0 {
+			fn(m.Data())
+		}
+	}
+}
+
 // Clusters returns the number of cluster mbufs in the chain; the NIC model
 // uses this to decide how much data page-remapping can avoid copying.
 func (c *Chain) Clusters() (count, bytes int) {
-	for m := c.head; m != nil; m = m.next {
+	return c.ClusterRange(0, c.length)
+}
+
+// ClusterRange reports how many cluster mbufs (and how many of their bytes)
+// fall inside chain range [off, off+n) without materializing a view — the
+// allocation-free form of Range(off, n).Clusters() the NIC transmit path
+// uses per fragment.
+func (c *Chain) ClusterRange(off, n int) (count, bytes int) {
+	if off < 0 || n < 0 || off+n > c.length {
+		panic("mbuf: ClusterRange out of bounds")
+	}
+	m := c.head
+	for m != nil && off >= m.dlen {
+		off -= m.dlen
+		m = m.next
+	}
+	for n > 0 && m != nil {
+		take := m.dlen - off
+		if take > n {
+			take = n
+		}
 		if m.cluster {
 			count++
-			bytes += m.dlen
+			bytes += take
 		}
+		n -= take
+		off = 0
+		m = m.next
 	}
 	return count, bytes
 }
@@ -139,8 +238,27 @@ func (c *Chain) Append(b []byte) {
 // chain without copying — the analogue of lending a buffer-cache page to the
 // network code. The caller must not modify b afterwards.
 func (c *Chain) AppendCluster(b []byte) {
-	m := &Mbuf{buf: b, dlen: len(b), cluster: true}
+	m := newHdr()
+	m.buf, m.dlen, m.cluster, m.ext = b, len(b), true, true
+	m.refs.Store(1)
 	Stats.ClusterAllocs.Add(1)
+	c.appendMbuf(m)
+}
+
+// AppendExt loans caller-owned storage into the chain without copying: the
+// Go analogue of BSD external-storage mbufs (cluster loaning). The chain
+// references b directly, so the lender must keep b stable until every chain
+// and view referencing it is dead — the memfs block-replace (copy-on-write)
+// discipline is what guarantees that for loaned file blocks. Loaned pages
+// count as clusters for the NIC page-remap model.
+func (c *Chain) AppendExt(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	m := newHdr()
+	m.buf, m.dlen, m.cluster, m.ext = b, len(b), true, true
+	m.refs.Store(1)
+	Stats.LoanedBytes.Add(int64(len(b)))
 	c.appendMbuf(m)
 }
 
@@ -211,9 +329,10 @@ func (c *Chain) CopyTo(dst []byte) int {
 }
 
 // Range returns a zero-copy view chain referencing bytes [off, off+n) of c.
-// The returned chain shares storage with c; neither side may be modified
-// afterwards. It is how IP fragmentation and TCP segmentation reference
-// payload without copying.
+// The returned chain shares storage with c (holding references that keep
+// pooled storage alive); neither side's data may be modified afterwards. It
+// is how IP fragmentation and TCP segmentation reference payload without
+// copying.
 func (c *Chain) Range(off, n int) *Chain {
 	if off < 0 || n < 0 || off+n > c.length {
 		panic("mbuf: Range out of bounds")
@@ -231,8 +350,7 @@ func (c *Chain) Range(off, n int) *Chain {
 		if take > n {
 			take = n
 		}
-		view := &Mbuf{buf: m.buf, off: m.off + off, dlen: take, cluster: m.cluster}
-		out.appendMbuf(view)
+		out.appendMbuf(viewOf(m, off, take))
 		n -= take
 		off = 0
 		m = m.next
@@ -243,7 +361,14 @@ func (c *Chain) Range(off, n int) *Chain {
 	return out
 }
 
-// Clone returns a deep copy of the chain.
+// Clone returns a deep copy of the chain (one copy pass, unlike the
+// Bytes+FromBytes detour, so the duplicate-request cache pays N rather than
+// 2N copied bytes per entry).
 func (c *Chain) Clone() *Chain {
-	return FromBytes(c.Bytes())
+	out := &Chain{}
+	b := NewBuilder(out)
+	for m := c.head; m != nil; m = m.next {
+		b.WriteBytes(m.Data())
+	}
+	return out
 }

@@ -1,0 +1,187 @@
+package mbuf
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestPoolRecyclesStorage: a build/free cycle returns mbufs to the free
+// lists, so a warm second pass hits the pool instead of the allocator.
+func TestPoolRecyclesStorage(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xab}, 3*ClBytes+17)
+	c := FromBytes(payload)
+	if got := c.Bytes(); !bytes.Equal(got, payload) {
+		t.Fatal("round trip mismatch before free")
+	}
+	c.Free()
+	if c.Len() != 0 || c.Segments() != 0 {
+		t.Fatalf("freed chain not empty: len=%d segs=%d", c.Len(), c.Segments())
+	}
+
+	Stats.Reset()
+	c2 := FromBytes(payload)
+	defer c2.Free()
+	snap := Stats.Snapshot()
+	if snap.PoolHits == 0 {
+		t.Fatalf("second pass had no pool hits (misses=%d)", snap.PoolMisses)
+	}
+	if got := c2.Bytes(); !bytes.Equal(got, payload) {
+		t.Fatal("round trip mismatch on recycled storage")
+	}
+}
+
+// TestDoubleFreePanics: freeing the same storage twice is a bug and must be
+// loud about it.
+func TestDoubleFreePanics(t *testing.T) {
+	c := FromBytes([]byte("once"))
+	m := c.head
+	c.Free()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	m.release()
+}
+
+// TestViewKeepsOwnerAlive: freeing the owning chain while a view exists must
+// not recycle the storage out from under the view; the storage is recycled
+// only after the view is freed too.
+func TestViewKeepsOwnerAlive(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x5a}, 2*ClBytes)
+	c := FromBytes(payload)
+	view := c.Range(100, ClBytes)
+	want := payload[100 : 100+ClBytes]
+	c.Free() // view still holds references
+
+	// Churn the pool: if the view's storage had been recycled, these
+	// builds would scribble over it.
+	for i := 0; i < 8; i++ {
+		scratch := FromBytes(bytes.Repeat([]byte{byte(i)}, 2*ClBytes))
+		scratch.Free()
+	}
+	if got := view.Bytes(); !bytes.Equal(got, want) {
+		t.Fatal("view data corrupted after owner free + pool churn")
+	}
+	view.Free()
+}
+
+// TestViewOfViewChasesRootOwner: a range of a range must reference the root
+// storage owner, not the intermediate view.
+func TestViewOfViewChasesRootOwner(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xc3}, ClBytes)
+	c := FromBytes(payload)
+	v1 := c.Range(8, ClBytes-8)
+	v2 := v1.Range(8, ClBytes-16)
+	c.Free()
+	v1.Free()
+	// v2 alone keeps the cluster alive.
+	for i := 0; i < 4; i++ {
+		scratch := FromBytes(bytes.Repeat([]byte{byte(0x10 + i)}, ClBytes))
+		scratch.Free()
+	}
+	if got := v2.Bytes(); !bytes.Equal(got, payload[16:ClBytes]) {
+		t.Fatal("second-level view corrupted after owner and first view freed")
+	}
+	v2.Free()
+}
+
+// TestAppendExtLoansWithoutCopy: loaned storage is referenced, not copied,
+// and never returns to the pools.
+func TestAppendExtLoansWithoutCopy(t *testing.T) {
+	Stats.Reset()
+	page := bytes.Repeat([]byte{0x77}, 8192)
+	c := &Chain{}
+	c.AppendExt(page[:4096])
+	c.AppendExt(page[4096:])
+	snap := Stats.Snapshot()
+	if snap.CopiedBytes != 0 {
+		t.Fatalf("AppendExt copied %d bytes, want 0", snap.CopiedBytes)
+	}
+	if snap.LoanedBytes != 8192 {
+		t.Fatalf("LoanedBytes = %d, want 8192", snap.LoanedBytes)
+	}
+	// The chain aliases the page.
+	page[0] = 0x11
+	if c.head.Data()[0] != 0x11 {
+		t.Fatal("chain does not alias loaned page")
+	}
+	if n, b := c.Clusters(); n != 2 || b != 8192 {
+		t.Fatalf("Clusters() = %d, %d; want 2, 8192 (loans count as clusters)", n, b)
+	}
+	c.Free() // must not panic or pool the caller's page
+}
+
+// TestDissectorNextChainZeroCopy: carving a payload out of a message as a
+// chain view moves no bytes even when the range spans mbufs.
+func TestDissectorNextChainZeroCopy(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x42}, 3*ClBytes)
+	c := FromBytes(payload)
+	Stats.Reset()
+	d := NewDissector(c)
+	if err := d.Skip(10); err != nil {
+		t.Fatal(err)
+	}
+	view, err := d.NextChain(2 * ClBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Stats.CopiedBytes.Load(); got != 0 {
+		t.Fatalf("NextChain copied %d bytes, want 0", got)
+	}
+	if view.Len() != 2*ClBytes {
+		t.Fatalf("view len = %d, want %d", view.Len(), 2*ClBytes)
+	}
+	if !bytes.Equal(view.Bytes(), payload[10:10+2*ClBytes]) {
+		t.Fatal("view content mismatch")
+	}
+	view.Free()
+	c.Free()
+}
+
+// TestBuilderNeverExtendsLoanedTail: after grafting loaned storage onto a
+// chain, a Builder must start a fresh mbuf rather than write into the
+// lender's page (XDR padding after PutOpaqueChain would corrupt it).
+func TestBuilderNeverExtendsLoanedTail(t *testing.T) {
+	page := bytes.Repeat([]byte{0xee}, 100)
+	c := &Chain{}
+	c.AppendExt(page[:60]) // spare capacity beyond dlen belongs to the lender
+	b := NewBuilder(c)
+	pad := b.Next(4)
+	copy(pad, []byte{0, 0, 0, 0})
+	for i, v := range page {
+		if v != 0xee {
+			t.Fatalf("builder scribbled on loaned page at %d (now %#x)", i, v)
+		}
+	}
+}
+
+// TestPoolConcurrentChurn hammers allocate/range/free from many goroutines
+// (run under -race): refcounts, pool recycling and data integrity must hold.
+func TestPoolConcurrentChurn(t *testing.T) {
+	const workers = 8
+	const rounds = 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			fill := byte(id + 1)
+			payload := bytes.Repeat([]byte{fill}, ClBytes+MLen+7)
+			for i := 0; i < rounds; i++ {
+				c := FromBytes(payload)
+				v := c.Range(3, ClBytes)
+				c.Free()
+				for _, got := range v.Bytes() {
+					if got != fill {
+						t.Errorf("worker %d: view corrupted (got %#x)", id, got)
+						return
+					}
+				}
+				v.Free()
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"sync"
 
+	"renonfs/internal/mbuf"
 	"renonfs/internal/nfsproto"
 	"renonfs/internal/sim"
 	"renonfs/internal/vfs"
@@ -118,8 +119,13 @@ type Inode struct {
 	Ctime nfsproto.Time
 
 	blocks map[uint32][]byte // file data, BlockSize chunks
-	dir    []DirEnt          // directory entries, sorted by name
-	target string            // symlink target
+	// loaned marks blocks whose storage has been lent into a reply chain by
+	// ReadLoan. A loaned block is immutable: writers replace it with a fresh
+	// copy (writableBlock) rather than scribbling under the network code —
+	// the block-replace discipline that makes BSD cluster loaning safe.
+	loaned map[uint32]bool
+	dir    []DirEnt // directory entries, sorted by name
+	target string   // symlink target
 }
 
 // FS is the exported filesystem.
@@ -486,9 +492,11 @@ func (fs *FS) truncate(n *Inode, size uint32) {
 	newBlocks := (size + BlockSize - 1) / BlockSize
 	for b := newBlocks; b < oldBlocks; b++ {
 		delete(n.blocks, b)
+		delete(n.loaned, b)
 	}
 	if size < n.Size && size%BlockSize != 0 {
-		if blk := n.blocks[size/BlockSize]; blk != nil {
+		if b := size / BlockSize; n.blocks[b] != nil {
+			blk := fs.writableBlock(n, b)
 			for i := size % BlockSize; i < BlockSize; i++ {
 				blk[i] = 0
 			}
@@ -542,6 +550,79 @@ func (fs *FS) ReadAt(p *sim.Proc, n *Inode, off uint32, dst []byte, cached bool)
 	return int(got), nil
 }
 
+// zeroBlock backs holes in loaned reads: a shared, never-written page of
+// zeros every hole can reference without allocating.
+var zeroBlock [BlockSize]byte
+
+// ReadLoan reads up to count bytes at off by loaning file-block storage
+// directly into chain c (mbuf.Chain.AppendExt) — no copy. The loaned blocks
+// are marked so a later write replaces rather than mutates them
+// (writableBlock); holes reference the shared zero page. Returns the number
+// of bytes appended; short reads happen at EOF. cached=false charges a disk
+// read, as in ReadAt.
+func (fs *FS) ReadLoan(p *sim.Proc, n *Inode, off, count uint32, cached bool, c *mbuf.Chain) (int, error) {
+	if n.Type == nfsproto.TypeDir {
+		return 0, ErrIsDir
+	}
+	if off >= n.Size {
+		return 0, nil
+	}
+	want := count
+	if off+want > n.Size {
+		want = n.Size - off
+	}
+	if !cached {
+		fs.Disk.Read(p, int(want))
+	}
+	got := uint32(0)
+	for got < want {
+		b := (off + got) / BlockSize
+		bo := (off + got) % BlockSize
+		nn := uint32(BlockSize) - bo
+		if nn > want-got {
+			nn = want - got
+		}
+		blk := n.blocks[b]
+		if blk == nil {
+			// Hole: loan the shared zero page (no loan mark needed — a
+			// write allocates a fresh block, never touches zeroBlock).
+			c.AppendExt(zeroBlock[bo : bo+nn])
+		} else {
+			c.AppendExt(blk[bo : bo+nn])
+			if n.loaned == nil {
+				n.loaned = make(map[uint32]bool)
+			}
+			n.loaned[b] = true
+		}
+		got += nn
+	}
+	fs.touch(n, false)
+	return int(got), nil
+}
+
+// writableBlock returns block b of n, safe to mutate: allocating it if the
+// file has a hole there, and replacing it with a private copy first if its
+// storage is out on loan to a reply chain (copy-on-write). The old storage
+// stays behind with the chains referencing it.
+func (fs *FS) writableBlock(n *Inode, b uint32) []byte {
+	blk := n.blocks[b]
+	if blk == nil {
+		blk = make([]byte, BlockSize)
+		n.blocks[b] = blk
+		fs.usedBlocks++
+		return blk
+	}
+	if n.loaned[b] {
+		fresh := make([]byte, BlockSize)
+		copy(fresh, blk)
+		mbuf.Stats.CopiedBytes.Add(BlockSize)
+		n.blocks[b] = fresh
+		delete(n.loaned, b)
+		return fresh
+	}
+	return blk
+}
+
 // WriteAt writes src at off, growing the file as needed. diskWrites charges
 // that many synchronous disk operations (NFS v2 demands the data and
 // metadata be stable before the reply; §5 counts 1-3 per write RPC).
@@ -560,12 +641,7 @@ func (fs *FS) WriteAt(p *sim.Proc, n *Inode, off uint32, src []byte, diskWrites 
 		if nn > uint32(len(src))-done {
 			nn = uint32(len(src)) - done
 		}
-		blk := n.blocks[b]
-		if blk == nil {
-			blk = make([]byte, BlockSize)
-			n.blocks[b] = blk
-			fs.usedBlocks++
-		}
+		blk := fs.writableBlock(n, b)
 		copy(blk[bo:], src[done:done+nn])
 		done += nn
 	}
@@ -573,14 +649,55 @@ func (fs *FS) WriteAt(p *sim.Proc, n *Inode, off uint32, src []byte, diskWrites 
 		n.Size = off + done
 	}
 	fs.touch(n, true)
+	fs.chargeWrite(p, len(src), diskWrites)
+	return nil
+}
+
+// WriteAtChain writes the contents of src at off without linearizing it: the
+// payload flows segment by segment from the request chain (a zero-copy view
+// of the wire data) straight into file blocks — the buffer-cache side of the
+// paper's copy-avoidance path. Disk-charge semantics match WriteAt.
+func (fs *FS) WriteAtChain(p *sim.Proc, n *Inode, off uint32, src *mbuf.Chain, diskWrites int) error {
+	if n.Type == nfsproto.TypeDir {
+		return ErrIsDir
+	}
+	total := src.Len()
+	if int(off)+total > int(fs.TotalBlocks)*BlockSize {
+		return ErrNoSpc
+	}
+	pos := off
+	src.ForEach(func(seg []byte) {
+		for len(seg) > 0 {
+			b := pos / BlockSize
+			bo := pos % BlockSize
+			nn := int(uint32(BlockSize) - bo)
+			if nn > len(seg) {
+				nn = len(seg)
+			}
+			blk := fs.writableBlock(n, b)
+			copy(blk[bo:], seg[:nn])
+			seg = seg[nn:]
+			pos += uint32(nn)
+		}
+	})
+	if pos > n.Size {
+		n.Size = pos
+	}
+	fs.touch(n, true)
+	fs.chargeWrite(p, total, diskWrites)
+	return nil
+}
+
+// chargeWrite charges diskWrites synchronous disk ops for an n-byte write:
+// the data itself first, then 512-byte inode/indirect updates.
+func (fs *FS) chargeWrite(p *sim.Proc, n, diskWrites int) {
 	for i := 0; i < diskWrites; i++ {
-		sz := len(src)
+		sz := n
 		if i > 0 {
-			sz = 512 // inode / indirect block updates
+			sz = 512
 		}
 		fs.Disk.Write(p, sz)
 	}
-	return nil
 }
 
 // Statfs reports filesystem capacity.

@@ -32,6 +32,10 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Inc increments the counter by one.
 func (c *Counter) Inc() { c.v.Add(1) }
 
+// Store sets the counter to v: used to mirror externally maintained
+// monotonic counters (e.g. the mbuf pool statistics) into a registry.
+func (c *Counter) Store(v int64) { c.v.Store(v) }
+
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 

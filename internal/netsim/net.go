@@ -343,10 +343,9 @@ func (n *Node) SendDatagram(p *sim.Proc, dg *Datagram) {
 	if lk == nil {
 		panic(fmt.Sprintf("netsim: %s: no route to node %d", n.Name, dg.Dst))
 	}
-	frags := ipfrag.Split(dg.Len(), lk.cfg.MTU-etherIPHeader)
-	for _, f := range frags {
+	ipfrag.ForEach(dg.Len(), lk.cfg.MTU-etherIPHeader, func(f ipfrag.Frag) {
 		n.transmit(p, lk, &packet{dg: dg, frag: f})
-	}
+	})
 	n.Stats.DgramsOut++
 }
 
@@ -358,8 +357,9 @@ func (n *Node) transmit(p *sim.Proc, lk *Link, pk *packet) {
 	// each cluster pays a page-table swap instead.
 	copyBytes := pk.wireBytes()
 	if n.cfg.PageRemapTx && pk.dg.Payload != nil && pk.frag.Len > 0 {
-		view := pk.dg.Payload.Range(pk.frag.Off, pk.frag.Len)
-		nclusters, clBytes := view.Clusters()
+		// ClusterRange walks the fragment's extent in place — no view chain
+		// materialized per packet.
+		nclusters, clBytes := pk.dg.Payload.ClusterRange(pk.frag.Off, pk.frag.Len)
 		copyBytes -= int(float64(clBytes) * m.RemapCoverage)
 		n.ChargeCPU(p, "nic_remap", m.Cost(float64(nclusters)*m.PageRemap))
 	}
@@ -398,7 +398,7 @@ func (n *Node) softnet(p *sim.Proc) {
 			// Fragment further if the next link's MTU is smaller.
 			maxPayload := lk.cfg.MTU - etherIPHeader
 			if pk.frag.Len > maxPayload {
-				for _, sub := range ipfrag.Split(pk.frag.Len, maxPayload) {
+				ipfrag.ForEach(pk.frag.Len, maxPayload, func(sub ipfrag.Frag) {
 					n.Stats.PktsOut++
 					spk := &packet{dg: pk.dg, frag: ipfrag.Frag{
 						Off:  pk.frag.Off + sub.Off,
@@ -407,7 +407,7 @@ func (n *Node) softnet(p *sim.Proc) {
 					}}
 					n.Stats.BytesOut += spk.wireBytes()
 					lk.enqueue(spk)
-				}
+				})
 			} else {
 				n.Stats.PktsOut++
 				n.Stats.BytesOut += pk.wireBytes()

@@ -87,11 +87,18 @@ func (s *Server) handle(peer string, req []byte) []byte {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	rep := s.srv.HandleCall(nil, peer, mbuf.FromBytes(req))
+	reqChain := mbuf.FromBytes(req)
+	rep := s.srv.HandleCall(nil, peer, reqChain)
+	// The request chain is ours (built from the socket read buffer) and the
+	// call is finished with it; recycle its mbufs. The reply is linearized
+	// for the socket, so its mbufs can go back too.
+	reqChain.Free()
 	if rep == nil {
 		return nil
 	}
-	return rep.Bytes()
+	out := rep.Bytes()
+	rep.Free()
+	return out
 }
 
 // SetDown makes the frontends silently drop requests (true) or serve

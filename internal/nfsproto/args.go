@@ -120,8 +120,9 @@ func (a *WriteArgs) Encode(e *xdr.Encoder) {
 	e.PutOpaqueChain(a.Data)
 }
 
-// DecodeWriteArgs unmarshals writeargs; Data is a fresh copy the caller may
-// retain.
+// DecodeWriteArgs unmarshals writeargs; Data is a zero-copy view into the
+// request chain, valid only while that chain is — callers that retain the
+// payload past the call must Clone it.
 func DecodeWriteArgs(d *xdr.Decoder) (*WriteArgs, error) {
 	a := &WriteArgs{}
 	var err error
@@ -137,14 +138,15 @@ func DecodeWriteArgs(d *xdr.Decoder) (*WriteArgs, error) {
 	if a.TotalCount, err = d.Uint32(); err != nil {
 		return nil, err
 	}
-	p, err := d.Opaque()
+	data, err := d.OpaqueView()
 	if err != nil {
 		return nil, err
 	}
-	if len(p) > MaxData {
-		return nil, fmt.Errorf("%w: write %d bytes", ErrBadProto, len(p))
+	if data.Len() > MaxData {
+		data.Free()
+		return nil, fmt.Errorf("%w: write %d bytes", ErrBadProto, data.Len())
 	}
-	a.Data = mbuf.FromBytes(p)
+	a.Data = data
 	return a, nil
 }
 

@@ -102,7 +102,9 @@ func (r *ReadRes) Encode(e *xdr.Encoder) {
 	}
 }
 
-// DecodeReadRes unmarshals the READ result; Data holds a fresh copy.
+// DecodeReadRes unmarshals the READ result; Data is a zero-copy view into
+// the reply chain, valid only while that chain is — callers that retain the
+// payload must copy it out (CopyTo) or Clone it first.
 func DecodeReadRes(d *xdr.Decoder) (*ReadRes, error) {
 	s, err := d.Uint32()
 	if err != nil {
@@ -115,14 +117,15 @@ func DecodeReadRes(d *xdr.Decoder) (*ReadRes, error) {
 	if r.Attr, err = DecodeFattr(d); err != nil {
 		return nil, err
 	}
-	p, err := d.Opaque()
+	data, err := d.OpaqueView()
 	if err != nil {
 		return nil, err
 	}
-	if len(p) > MaxData {
-		return nil, fmt.Errorf("%w: read result %d bytes", ErrBadProto, len(p))
+	if data.Len() > MaxData {
+		data.Free()
+		return nil, fmt.Errorf("%w: read result %d bytes", ErrBadProto, data.Len())
 	}
-	r.Data = mbuf.FromBytes(p)
+	r.Data = data
 	return r, nil
 }
 

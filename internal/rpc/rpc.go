@@ -130,6 +130,9 @@ func getAuth(d *xdr.Decoder) (Auth, error) {
 		return a, fmt.Errorf("%w: auth body %d bytes", ErrBadMessage, len(body))
 	}
 	a.Flavor = f
+	// The copy must stay: Opaque may return the dissector's straddle
+	// scratch, which the second getAuth of a header would overwrite. For
+	// the hot path (AUTH_NULL, empty body) append allocates nothing.
 	a.Body = append([]byte(nil), body...)
 	return a, nil
 }
@@ -163,40 +166,49 @@ func EncodeCall(c *mbuf.Chain, call *Call) {
 // of the procedure arguments.
 func DecodeCall(d *xdr.Decoder) (*Call, error) {
 	call := &Call{}
-	var err error
-	if call.XID, err = d.Uint32(); err != nil {
-		return nil, err
-	}
-	mt, err := d.Uint32()
-	if err != nil {
-		return nil, err
-	}
-	if mt != MsgCall {
-		return nil, fmt.Errorf("%w: type %d, want CALL", ErrBadMessage, mt)
-	}
-	v, err := d.Uint32()
-	if err != nil {
-		return nil, err
-	}
-	if v != Version {
-		return nil, fmt.Errorf("%w: rpc version %d", ErrBadMessage, v)
-	}
-	if call.Prog, err = d.Uint32(); err != nil {
-		return nil, err
-	}
-	if call.Vers, err = d.Uint32(); err != nil {
-		return nil, err
-	}
-	if call.Proc, err = d.Uint32(); err != nil {
-		return nil, err
-	}
-	if call.Cred, err = getAuth(d); err != nil {
-		return nil, err
-	}
-	if call.Verf, err = getAuth(d); err != nil {
+	if err := DecodeCallInto(d, call); err != nil {
 		return nil, err
 	}
 	return call, nil
+}
+
+// DecodeCallInto parses a CALL header into a caller-provided struct, letting
+// per-request dispatch loops keep the header off the heap.
+func DecodeCallInto(d *xdr.Decoder, call *Call) error {
+	var err error
+	if call.XID, err = d.Uint32(); err != nil {
+		return err
+	}
+	mt, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	if mt != MsgCall {
+		return fmt.Errorf("%w: type %d, want CALL", ErrBadMessage, mt)
+	}
+	v, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	if v != Version {
+		return fmt.Errorf("%w: rpc version %d", ErrBadMessage, v)
+	}
+	if call.Prog, err = d.Uint32(); err != nil {
+		return err
+	}
+	if call.Vers, err = d.Uint32(); err != nil {
+		return err
+	}
+	if call.Proc, err = d.Uint32(); err != nil {
+		return err
+	}
+	if call.Cred, err = getAuth(d); err != nil {
+		return err
+	}
+	if call.Verf, err = getAuth(d); err != nil {
+		return err
+	}
+	return nil
 }
 
 // Reply is a parsed RPC REPLY header. For accepted/success replies the
@@ -222,35 +234,44 @@ func EncodeReply(c *mbuf.Chain, xid, acceptStat uint32) {
 // DecodeReply parses a REPLY header, leaving the cursor at the results.
 func DecodeReply(d *xdr.Decoder) (*Reply, error) {
 	r := &Reply{}
+	if err := DecodeReplyInto(d, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// DecodeReplyInto parses a REPLY header into a caller-provided struct, the
+// allocation-free counterpart of DecodeReply for per-reply hot loops.
+func DecodeReplyInto(d *xdr.Decoder, r *Reply) error {
 	var err error
 	if r.XID, err = d.Uint32(); err != nil {
-		return nil, err
+		return err
 	}
 	mt, err := d.Uint32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if mt != MsgReply {
-		return nil, fmt.Errorf("%w: type %d, want REPLY", ErrBadMessage, mt)
+		return fmt.Errorf("%w: type %d, want REPLY", ErrBadMessage, mt)
 	}
 	stat, err := d.Uint32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	switch stat {
 	case MsgAccepted:
 		if r.Verf, err = getAuth(d); err != nil {
-			return nil, err
+			return err
 		}
 		if r.AcceptStat, err = d.Uint32(); err != nil {
-			return nil, err
+			return err
 		}
 	case MsgDenied:
 		r.Denied = true
 	default:
-		return nil, fmt.Errorf("%w: reply stat %d", ErrBadMessage, stat)
+		return fmt.Errorf("%w: reply stat %d", ErrBadMessage, stat)
 	}
-	return r, nil
+	return nil
 }
 
 // PeekXID extracts the transaction id from a message chain without

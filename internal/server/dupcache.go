@@ -6,31 +6,41 @@ import (
 	"renonfs/internal/mbuf"
 )
 
+// dupKey identifies one RPC for duplicate detection: who sent it, its
+// transaction id, and the procedure (a retransmission reuses all three). A
+// struct key avoids the per-call string formatting a concatenated key costs
+// on the hot path.
+type dupKey struct {
+	peer string
+	xid  uint32
+	proc uint32
+}
+
 // dupCache is the duplicate request cache of [Juszczak89]: recent replies
 // to non-idempotent calls, keyed by caller and transaction id, so that a
 // retransmitted REMOVE or CREATE is answered from cache instead of being
 // re-executed (the "at least once" hazard the conclusions call out).
 type dupCache struct {
 	cap     int
-	entries map[string]*list.Element
+	entries map[dupKey]*list.Element
 	order   *list.List // front = newest; values are *dupEntry
 }
 
 type dupEntry struct {
-	key   string
+	key   dupKey
 	reply *mbuf.Chain
 }
 
 func newDupCache(capacity int) *dupCache {
 	return &dupCache{
 		cap:     capacity,
-		entries: make(map[string]*list.Element),
+		entries: make(map[dupKey]*list.Element),
 		order:   list.New(),
 	}
 }
 
 // get returns the cached reply for key, or nil.
-func (c *dupCache) get(key string) *mbuf.Chain {
+func (c *dupCache) get(key dupKey) *mbuf.Chain {
 	e := c.entries[key]
 	if e == nil {
 		return nil
@@ -40,7 +50,7 @@ func (c *dupCache) get(key string) *mbuf.Chain {
 }
 
 // put stores a reply, evicting the oldest entry beyond capacity.
-func (c *dupCache) put(key string, reply *mbuf.Chain) {
+func (c *dupCache) put(key dupKey, reply *mbuf.Chain) {
 	if e := c.entries[key]; e != nil {
 		e.Value.(*dupEntry).reply = reply
 		c.order.MoveToFront(e)

@@ -20,7 +20,7 @@ func TestDupCacheChurnStaysBounded(t *testing.T) {
 	reply := &mbuf.Chain{}
 	for peer := 0; peer < 16; peer++ {
 		for xid := 0; xid < 2000; xid++ {
-			c.put(fmt.Sprintf("p%d/%d/10", peer, xid), reply)
+			c.put(dupKey{peer: fmt.Sprintf("p%d", peer), xid: uint32(xid), proc: 10}, reply)
 			if c.len() > cap {
 				t.Fatalf("cache grew to %d entries (cap %d) at peer %d xid %d",
 					c.len(), cap, peer, xid)
@@ -38,19 +38,20 @@ func TestDupCacheChurnStaysBounded(t *testing.T) {
 func TestDupCacheLRUKeepsHotEntries(t *testing.T) {
 	c := newDupCache(8)
 	hot := &mbuf.Chain{}
-	c.put("hot", hot)
+	hotKey := dupKey{peer: "hot", xid: 1, proc: 10}
+	c.put(hotKey, hot)
 	for i := 0; i < 100; i++ {
-		c.put(fmt.Sprintf("cold%d", i), &mbuf.Chain{})
-		if c.get("hot") != hot {
+		c.put(dupKey{peer: "cold", xid: uint32(i), proc: 10}, &mbuf.Chain{})
+		if c.get(hotKey) != hot {
 			t.Fatalf("hot entry evicted after %d cold insertions", i+1)
 		}
 	}
-	if c.get("cold0") != nil {
+	if c.get(dupKey{peer: "cold", xid: 0, proc: 10}) != nil {
 		t.Fatal("cold0 should have been evicted long ago")
 	}
 	// Overwriting an existing key must not grow the cache.
 	n := c.len()
-	c.put("hot", &mbuf.Chain{})
+	c.put(hotKey, &mbuf.Chain{})
 	if c.len() != n {
 		t.Fatalf("overwrite grew cache from %d to %d", n, c.len())
 	}

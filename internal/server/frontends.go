@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"renonfs/internal/mbuf"
+	"renonfs/internal/netsim"
 	"renonfs/internal/rpc"
 	"renonfs/internal/sim"
 	"renonfs/internal/tcpsim"
@@ -12,10 +13,15 @@ import (
 // NFSPort is the conventional NFS port.
 const NFSPort = 2049
 
-// job is one request handed to the nfsd pool.
+// job is one request handed to the nfsd pool. owned marks request chains the
+// frontend built itself (TCP record reassembly) and may therefore free after
+// the call; UDP request chains belong to the network layer, whose
+// fault-injection machinery can deliver the same payload chain twice, so the
+// server must never recycle them.
 type job struct {
 	peer  string
 	req   *mbuf.Chain
+	owned bool
 	reply func(p *sim.Proc, rep *mbuf.Chain)
 }
 
@@ -30,14 +36,27 @@ func (s *Server) ServeUDP(port int) {
 	s.EnableLeaseCallbacks(sock)
 	jobs := sim.NewQueue[job](env, s.Opts.Name+".nfsd-q")
 	env.Spawn(s.Opts.Name+".udp-rx", func(p *sim.Proc) {
+		// Peer strings are interned per (src, sport): a client keeps one
+		// socket for its whole run, so formatting the name once beats a
+		// fmt.Sprintf per request.
+		type udpPeer struct {
+			src   netsim.NodeID
+			sport int
+		}
+		peers := make(map[udpPeer]string)
 		for {
 			dg, ok := sock.Recv(p)
 			if !ok {
 				return
 			}
 			src, sport := dg.Src, dg.SrcPort
+			peer, ok := peers[udpPeer{src, sport}]
+			if !ok {
+				peer = fmt.Sprintf("udp:%d:%d", src, sport)
+				peers[udpPeer{src, sport}] = peer
+			}
 			jobs.Send(job{
-				peer: fmt.Sprintf("udp:%d:%d", src, sport),
+				peer: peer,
 				req:  dg.Payload,
 				reply: func(p *sim.Proc, rep *mbuf.Chain) {
 					sock.Send(p, src, sport, rep)
@@ -93,8 +112,9 @@ func (s *Server) ServeTCP(stack *tcpsim.Stack, port int) {
 					for _, rec := range recs {
 						req := mbuf.FromBytes(rec)
 						jobs.Send(job{
-							peer: peer,
-							req:  req,
+							peer:  peer,
+							req:   req,
+							owned: true,
 							reply: func(p *sim.Proc, rep *mbuf.Chain) {
 								rpc.AddRecordMark(rep)
 								conn.Send(p, rep)
@@ -120,6 +140,9 @@ func (s *Server) spawnNFSDs(env *sim.Env, jobs *sim.Queue[job], tag string) {
 					continue // crashed: the request vanishes
 				}
 				rep := s.HandleCall(p, j.peer, j.req)
+				if j.owned {
+					j.req.Free()
+				}
 				if rep != nil {
 					j.reply(p, rep)
 				}

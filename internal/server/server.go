@@ -15,7 +15,6 @@
 package server
 
 import (
-	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -132,6 +131,12 @@ type Server struct {
 	// histograms plus call/byte counters, safe to snapshot concurrently
 	// (the nfsd stats endpoint and nfsstat read it live).
 	Metrics *metrics.Registry
+	// Hot-path metric handles, interned once in New: looking a counter up
+	// by name costs a map probe plus a string concatenation per call
+	// otherwise.
+	cCalls, cBytesIn, cBytesOut, cDupHits, cErrors *metrics.Counter
+	procCalls                                      [nfsproto.NumProcsExt]*metrics.Counter
+	procSvc                                        [nfsproto.NumProcsExt]*metrics.Histogram
 	// Tracer, when set, receives ServerCall and DupCacheHit lifecycle
 	// events for every RPC handled.
 	Tracer metrics.Tracer
@@ -216,7 +221,31 @@ func New(fs *memfs.FS, opts Options) *Server {
 		epoch:   time.Now(),
 	}
 	s.namec.Enabled = opts.NameCache
+	s.cCalls = s.Metrics.Counter("nfs.calls")
+	s.cBytesIn = s.Metrics.Counter("nfs.bytes_in")
+	s.cBytesOut = s.Metrics.Counter("nfs.bytes_out")
+	s.cDupHits = s.Metrics.Counter("nfs.dup_hits")
+	s.cErrors = s.Metrics.Counter("nfs.errors")
+	for proc := uint32(0); proc < nfsproto.NumProcsExt; proc++ {
+		name := nfsproto.ProcName(proc)
+		s.procCalls[proc] = s.Metrics.Counter("nfs.calls." + name)
+		s.procSvc[proc] = s.Metrics.Histogram("nfs.service_ms." + name)
+	}
 	return s
+}
+
+// PublishMbufStats mirrors the mbuf package's pool/copy counters into the
+// server registry so the nfsd -stats endpoint and nfsstat report the copy
+// traffic §3 of the paper is about.
+func (s *Server) PublishMbufStats() {
+	ms := mbuf.Stats.Snapshot()
+	s.Metrics.Counter("mbuf.copied_bytes").Store(ms.CopiedBytes)
+	s.Metrics.Counter("mbuf.small_allocs").Store(ms.SmallAllocs)
+	s.Metrics.Counter("mbuf.cluster_allocs").Store(ms.ClusterAllocs)
+	s.Metrics.Counter("mbuf.pool_hits").Store(ms.PoolHits)
+	s.Metrics.Counter("mbuf.pool_misses").Store(ms.PoolMisses)
+	s.Metrics.Counter("mbuf.loaned_bytes").Store(ms.LoanedBytes)
+	s.Metrics.Counter("mbuf.views").Store(ms.Views)
 }
 
 // AttachNode binds the server to a simulated host for CPU accounting.
@@ -238,7 +267,7 @@ func (s *Server) RootFH() nfsproto.FH { return s.FS.FH(s.FS.Root()) }
 // countErr records one NFS-level failure in both counter surfaces.
 func (s *Server) countErr() {
 	s.Stats.Errors.Add(1)
-	s.Metrics.Counter("nfs.errors").Add(1)
+	s.cErrors.Add(1)
 }
 
 // svcNow reads the clock used for service-time measurement: virtual time
@@ -302,11 +331,11 @@ func errStatus(err error) nfsproto.Status {
 // peer identifies the caller for duplicate-request caching.
 func (s *Server) HandleCall(p *sim.Proc, peer string, req *mbuf.Chain) *mbuf.Chain {
 	s.Stats.BytesIn.Add(int64(req.Len()))
-	s.Metrics.Counter("nfs.bytes_in").Add(int64(req.Len()))
+	s.cBytesIn.Add(int64(req.Len()))
 	reqLen := req.Len()
 	d := xdr.NewDecoder(req)
-	call, err := rpc.DecodeCall(d)
-	if err != nil {
+	var call rpc.Call
+	if err := rpc.DecodeCallInto(d, &call); err != nil {
 		return nil
 	}
 	if call.Prog == nfsproto.MountProgram && call.Vers == nfsproto.MountVersion &&
@@ -315,11 +344,12 @@ func (s *Server) HandleCall(p *sim.Proc, peer string, req *mbuf.Chain) *mbuf.Cha
 		e := xdr.NewEncoder(out)
 		rpc.EncodeReply(out, call.XID, rpc.Success)
 		if err := s.dispatchMount(p, call.Proc, peer, d, e); err != nil {
+			out.Free()
 			out = &mbuf.Chain{}
 			rpc.EncodeReply(out, call.XID, rpc.GarbageArgs)
 		}
 		s.Stats.BytesOut.Add(int64(out.Len()))
-		s.Metrics.Counter("nfs.bytes_out").Add(int64(out.Len()))
+		s.cBytesOut.Add(int64(out.Len()))
 		return out
 	}
 	unavailable := call.Proc >= nfsproto.NumProcsExt ||
@@ -340,35 +370,37 @@ func (s *Server) HandleCall(p *sim.Proc, peer string, req *mbuf.Chain) *mbuf.Cha
 		s.charge(p, "xdr_layer", costXDRCall+costXDRByte*float64(reqLen))
 	}
 	// Duplicate request cache for non-idempotent procedures.
-	dkey := fmt.Sprintf("%s/%d/%d", peer, call.XID, call.Proc)
+	dkey := dupKey{peer: peer, xid: call.XID, proc: call.Proc}
 	if nonIdempotent[call.Proc] {
 		if cached := s.dupc.get(dkey); cached != nil {
 			s.Stats.DupHits.Add(1)
-			s.Metrics.Counter("nfs.dup_hits").Add(1)
+			s.cDupHits.Add(1)
 			metrics.Emit(s.Tracer, metrics.DupCacheHit{Proc: call.Proc})
 			return cached.Clone()
 		}
 	}
 	s.Stats.Calls[call.Proc].Add(1)
-	procName := nfsproto.ProcName(call.Proc)
-	s.Metrics.Counter("nfs.calls").Add(1)
-	s.Metrics.Counter("nfs.calls." + procName).Add(1)
+	s.cCalls.Add(1)
+	s.procCalls[call.Proc].Add(1)
 	begin := s.svcNow(p)
 
 	out := &mbuf.Chain{}
 	e := xdr.NewEncoder(out)
 	rpc.EncodeReply(out, call.XID, rpc.Success)
-	err = s.dispatch(p, call.Proc, peer, d, e)
+	err := s.dispatch(p, call.Proc, peer, d, e)
 	if err != nil {
 		// Argument decode failure: garbage args.
+		out.Free()
 		out = &mbuf.Chain{}
 		rpc.EncodeReply(out, call.XID, rpc.GarbageArgs)
 	}
 	// Service time spans decode through dispatch: simulated CPU charges and
 	// disk sleeps under the simulator, real elapsed time over sockets.
 	svc := s.svcNow(p) - begin
-	s.Metrics.Histogram("nfs.service_ms." + procName).ObserveDuration(svc)
-	metrics.Emit(s.Tracer, metrics.ServerCall{Proc: call.Proc, Service: svc, Error: err != nil})
+	s.procSvc[call.Proc].ObserveDuration(svc)
+	if s.Tracer != nil { // guard: boxing the event allocates even when untraced
+		metrics.Emit(s.Tracer, metrics.ServerCall{Proc: call.Proc, Service: svc, Error: err != nil})
+	}
 	if s.Opts.XDRCopyLayer {
 		s.charge(p, "xdr_layer", costXDRByte*float64(out.Len()))
 	}
@@ -376,7 +408,7 @@ func (s *Server) HandleCall(p *sim.Proc, peer string, req *mbuf.Chain) *mbuf.Cha
 		s.dupc.put(dkey, out.Clone())
 	}
 	s.Stats.BytesOut.Add(int64(out.Len()))
-	s.Metrics.Counter("nfs.bytes_out").Add(int64(out.Len()))
+	s.cBytesOut.Add(int64(out.Len()))
 	return out
 }
 
@@ -593,24 +625,20 @@ func (s *Server) read(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder) 
 			s.bufc.Insert(key)
 		}
 	}
-	page := make([]byte, args.Count)
-	got, err := s.FS.ReadAt(p, n, args.Offset, page, cached)
+	// File blocks are loaned straight into the reply chain — no staging
+	// buffer, no copy (the blocks go copy-on-write against later writers).
+	// The reference port still *pays* for the buffer-cache-to-mbuf copy —
+	// the §3 "third bottleneck" — as a CPU charge; only the Reno LendPages
+	// personality skips it.
+	data := &mbuf.Chain{}
+	got, err := s.FS.ReadLoan(p, n, args.Offset, args.Count, cached, data)
 	if err != nil {
+		data.Free()
 		(&nfsproto.ReadRes{Status: errStatus(err)}).Encode(e)
 		return nil
 	}
-	// Copy buffer cache data into mbufs — the §3 "third bottleneck" —
-	// unless the server lends cache pages as clusters.
 	if !s.Opts.LendPages {
 		s.charge(p, "buf_copy", costBufCopyByte*float64(got))
-	}
-	data := &mbuf.Chain{}
-	for off := 0; off < got; off += mbuf.ClBytes {
-		end := off + mbuf.ClBytes
-		if end > got {
-			end = got
-		}
-		data.AppendCluster(page[off:end])
 	}
 	attr := s.FS.Attr(n)
 	(&nfsproto.ReadRes{Status: nfsproto.OK, Attr: &attr, Data: data}).Encode(e)
@@ -622,6 +650,9 @@ func (s *Server) write(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder)
 	if err != nil {
 		return err
 	}
+	// Data is a view into the request chain; drop its storage references
+	// once the payload has landed in file blocks.
+	defer args.Data.Free()
 	s.charge(p, "nfs", costVOP)
 	if s.leaseConflict(p, args.File, true, peer) {
 		(&nfsproto.AttrRes{Status: nfsproto.ErrTryLater}).Encode(e)
@@ -632,9 +663,9 @@ func (s *Server) write(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder)
 		(&nfsproto.AttrRes{Status: errStatus(err)}).Encode(e)
 		return nil
 	}
-	data := args.Data.Bytes()
-	// mbuf -> buffer cache copy.
-	s.charge(p, "buf_copy", costBufCopyByte*float64(len(data)))
+	// mbuf -> buffer cache copy (charged; the substrate moves the payload
+	// segment-by-segment from the request view into file blocks).
+	s.charge(p, "buf_copy", costBufCopyByte*float64(args.Data.Len()))
 	// Synchronous writes: data + inode, plus an indirect block once the
 	// file outgrows its direct blocks (UFS: 12 of them).
 	diskWrites := 2
@@ -655,7 +686,7 @@ func (s *Server) write(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder)
 			s.gather[args.File] = now + gatherWindow
 		}
 	}
-	if err := s.FS.WriteAt(p, n, args.Offset, data, diskWrites); err != nil {
+	if err := s.FS.WriteAtChain(p, n, args.Offset, args.Data, diskWrites); err != nil {
 		(&nfsproto.AttrRes{Status: errStatus(err)}).Encode(e)
 		return nil
 	}
@@ -885,23 +916,32 @@ func (s *Server) readdir(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
 	if budget <= 0 || budget > nfsproto.MaxData {
 		budget = nfsproto.MaxData
 	}
-	synth := []nfsproto.DirEntry{
-		{FileID: dir.Ino, Name: ".", Cookie: 1},
-		{FileID: dir.Ino, Name: "..", Cookie: 2},
-	}
-	all := append(synth, make([]nfsproto.DirEntry, 0, len(ents))...)
-	for i, de := range ents {
-		all = append(all, nfsproto.DirEntry{FileID: de.Ino, Name: de.Name, Cookie: uint32(i + 3)})
-	}
+	// Entries are synthesized on the fly — "." and ".." first, then the
+	// directory list — rather than materializing the whole directory into a
+	// scratch slice per call.
 	used := 16 // status + eof + terminator
-	for i := int(args.Cookie); i < len(all); i++ {
-		sz := 16 + len(all[i].Name)
+	total := len(ents) + 2
+	if start := int(args.Cookie); start < total {
+		res.Entries = make([]nfsproto.DirEntry, 0, total-start)
+	}
+	for i := int(args.Cookie); i < total; i++ {
+		var ent nfsproto.DirEntry
+		switch i {
+		case 0:
+			ent = nfsproto.DirEntry{FileID: dir.Ino, Name: ".", Cookie: 1}
+		case 1:
+			ent = nfsproto.DirEntry{FileID: dir.Ino, Name: "..", Cookie: 2}
+		default:
+			de := ents[i-2]
+			ent = nfsproto.DirEntry{FileID: de.Ino, Name: de.Name, Cookie: uint32(i + 1)}
+		}
+		sz := 16 + len(ent.Name)
 		if used+sz > budget {
 			res.EOF = false
 			res.Encode(e)
 			return nil
 		}
-		res.Entries = append(res.Entries, all[i])
+		res.Entries = append(res.Entries, ent)
 		used += sz
 	}
 	res.EOF = true

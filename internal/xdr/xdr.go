@@ -22,15 +22,21 @@ var ErrBadValue = errors.New("xdr: bad value")
 // Pad returns n rounded up to 4-byte alignment.
 func Pad(n int) int { return (n + 3) &^ 3 }
 
-// Encoder writes XDR items onto an mbuf chain.
+// Encoder writes XDR items onto an mbuf chain. The mbuf Builder is embedded
+// by value, so one allocation covers both (and Reset allows reuse).
 type Encoder struct {
-	b *mbuf.Builder
+	b mbuf.Builder
 }
 
 // NewEncoder returns an Encoder appending to chain c.
 func NewEncoder(c *mbuf.Chain) *Encoder {
-	return &Encoder{b: mbuf.NewBuilder(c)}
+	e := &Encoder{}
+	e.b.Reset(c)
+	return e
 }
+
+// Reset re-points the encoder at c for reuse without allocation.
+func (e *Encoder) Reset(c *mbuf.Chain) { e.b.Reset(c) }
 
 // Chain returns the chain being appended to.
 func (e *Encoder) Chain() *mbuf.Chain { return e.b.Chain() }
@@ -97,9 +103,10 @@ func (e *Encoder) PutString(s string) {
 	e.PutFixedOpaque([]byte(s))
 }
 
-// Decoder reads XDR items from an mbuf chain.
+// Decoder reads XDR items from an mbuf chain. The mbuf Dissector is embedded
+// by value (one allocation, inline straddle scratch included).
 type Decoder struct {
-	d *mbuf.Dissector
+	d mbuf.Dissector
 	// MaxItem bounds variable-length items to guard against garbage
 	// lengths; zero means the package default (1 MiB).
 	MaxItem int
@@ -109,8 +116,14 @@ const defaultMaxItem = 1 << 20
 
 // NewDecoder returns a Decoder reading from the start of c.
 func NewDecoder(c *mbuf.Chain) *Decoder {
-	return &Decoder{d: mbuf.NewDissector(c)}
+	d := &Decoder{}
+	d.d.Reset(c)
+	return d
 }
+
+// Reset re-points the decoder at the start of c for reuse without
+// allocation.
+func (d *Decoder) Reset(c *mbuf.Chain) { d.d.Reset(c) }
 
 // Remaining returns the number of unread bytes.
 func (d *Decoder) Remaining() int { return d.d.Remaining() }
@@ -200,6 +213,32 @@ func (d *Decoder) OpaqueCopy() ([]byte, error) {
 	out := make([]byte, len(p))
 	copy(out, p)
 	return out, nil
+}
+
+// OpaqueView decodes variable-length opaque data as a zero-copy view into
+// the source chain — the bulk counterpart of Opaque. The returned chain
+// shares storage with the message being decoded, so it remains valid exactly
+// as long as that chain does; callers that outlive the message must Clone.
+// No bytes are copied regardless of payload size or mbuf layout.
+func (d *Decoder) OpaqueView() (*mbuf.Chain, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > d.maxItem() {
+		return nil, fmt.Errorf("%w: opaque length %d", ErrBadValue, n)
+	}
+	c, err := d.d.NextChain(int(n))
+	if err != nil {
+		return nil, err
+	}
+	if pad := Pad(int(n)) - int(n); pad > 0 {
+		if err := d.d.Skip(pad); err != nil {
+			c.Free()
+			return nil, err
+		}
+	}
+	return c, nil
 }
 
 // String decodes an XDR string.
