@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race chaos fuzz-smoke vet bench bench-smoke profile
+.PHONY: build test race chaos fuzz-smoke vet bench bench-smoke profile scaling scaling-smoke
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,16 @@ bench:
 # against BENCH_baseline.json.
 bench-smoke:
 	$(GO) test -run 'TestAllocBudget|TestReadReplyZeroCopy' -bench=. -benchmem -benchtime 1x .
+
+# Real-socket scaling curve: 1/2/4/8 concurrent clients against the
+# parallel nfsd worker pool, recorded in BENCH_scaling.json. Needs real
+# cores to show real parallelism.
+scaling:
+	$(GO) run ./cmd/nfsbench -scaling
+
+# The CI gate form: fails if 4-client throughput < 1.5x 1-client.
+scaling-smoke:
+	RENONFS_SCALING=1 $(GO) test -run TestScalingSmoke -v ./internal/nfsnet
 
 # Profile a representative experiment run with pprof; start perf work here,
 # the way the paper's tuning started from kernel profiles.

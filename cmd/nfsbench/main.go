@@ -8,12 +8,20 @@
 //	nfsbench -exp all               # everything, paper order
 //	nfsbench -exp table5 -quick     # scaled-down run
 //	nfsbench -exp graph1 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	nfsbench -clients 4             # real-socket load: 4 concurrent clients
+//	nfsbench -scaling               # 1/2/4/8-client curve -> BENCH_scaling.json
 //
 // Output is plain text, one table per experiment, in the same shape as the
 // paper's tables/graph data. EXPERIMENTS.md records how each compares to
 // the published numbers. The -cpuprofile/-memprofile flags write pprof
 // profiles of the run (`make profile` wraps this), so perf work starts from
 // a profile the way the paper's did.
+//
+// -clients and -scaling leave the simulator entirely: they drive the
+// real-socket frontend (internal/nfsnet) with concurrent UDP clients to
+// measure how the parallel nfsd worker pool scales with offered
+// concurrency. -scaling sweeps 1/2/4/8 clients and records the curve in
+// BENCH_scaling.json (`make scaling` wraps this).
 package main
 
 import (
@@ -35,8 +43,22 @@ func main() {
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		clients    = flag.Int("clients", 0, "real-socket mode: this many concurrent clients (0: simulated experiments)")
+		scaling    = flag.Bool("scaling", false, "real-socket mode: 1/2/4/8-client scaling curve")
+		nfsds      = flag.Int("nfsds", 8, "size of the nfsd worker pool in the real-socket modes")
+		dur        = flag.Duration("dur", 2*time.Second, "per-point measurement duration in the real-socket modes")
+		scalingOut = flag.String("scaling-out", "BENCH_scaling.json", "where -scaling writes its JSON curve (empty: don't write)")
 	)
 	flag.Parse()
+
+	if *scaling {
+		runScaling(*nfsds, *dur, *scalingOut)
+		return
+	}
+	if *clients > 0 {
+		runClients(*clients, *nfsds, *dur)
+		return
+	}
 
 	if *list {
 		for _, e := range renonfs.Experiments() {

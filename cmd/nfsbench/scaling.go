@@ -1,0 +1,153 @@
+package main
+
+// The -clients/-scaling modes: real-socket multiclient load against the
+// parallel nfsd pool (internal/nfsnet), as opposed to the simulated
+// experiments. One point measures N concurrent UDP clients hammering
+// READ(8K)+LOOKUP; the curve sweeps 1/2/4/8 clients and writes
+// BENCH_scaling.json, the record `make scaling` and CI compare against.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"renonfs/internal/memfs"
+	"renonfs/internal/nfsnet"
+	"renonfs/internal/nfsproto"
+	"renonfs/internal/server"
+)
+
+// scalingPoint is one row of the curve.
+type scalingPoint struct {
+	Clients int     `json:"clients"`
+	OpsPerS float64 `json:"ops_per_s"`
+	Speedup float64 `json:"speedup"` // vs the 1-client point
+}
+
+// scalingReport is the BENCH_scaling.json document.
+type scalingReport struct {
+	NFSDs     int            `json:"nfsds"`
+	GOMAXPROC int            `json:"gomaxprocs"`
+	DurationS float64        `json:"duration_s"`
+	Points    []scalingPoint `json:"points"`
+}
+
+// measureClients runs one point: n concurrent UDP clients against a fresh
+// real-socket server, each looping READ(8K)+LOOKUP for dur. Returns
+// aggregate ops/s.
+func measureClients(n, nfsds int, dur time.Duration) (float64, error) {
+	fs := memfs.New(1, nil, nil)
+	opts := server.Reno()
+	opts.NFSDs = nfsds
+	srv := server.New(fs, opts)
+	s, err := nfsnet.Serve(srv, "127.0.0.1:0", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer s.Close()
+	root := srv.RootFH()
+
+	setup, err := nfsnet.DialUDP(s.UDPAddr())
+	if err != nil {
+		return 0, err
+	}
+	cr, err := setup.Create(root, "bench.dat", 0644)
+	if err != nil || cr.Status != nfsproto.OK {
+		setup.Close()
+		return 0, fmt.Errorf("create bench.dat: %v (res %+v)", err, cr)
+	}
+	if _, err := setup.Write(cr.File, 0, make([]byte, nfsproto.MaxData)); err != nil {
+		setup.Close()
+		return 0, err
+	}
+	setup.Close()
+
+	var ops atomic.Int64
+	errc := make(chan error, n)
+	var wg sync.WaitGroup
+	stop := time.Now().Add(dur)
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := nfsnet.DialUDP(s.UDPAddr())
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer cl.Close()
+			for time.Now().Before(stop) {
+				if _, err := cl.Read(cr.File, 0, nfsproto.MaxData); err != nil {
+					errc <- fmt.Errorf("read: %w", err)
+					return
+				}
+				if _, err := cl.Lookup(root, "bench.dat"); err != nil {
+					errc <- fmt.Errorf("lookup: %w", err)
+					return
+				}
+				ops.Add(2)
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return 0, err
+	default:
+	}
+	return float64(ops.Load()) / dur.Seconds(), nil
+}
+
+// runClients serves the -clients N mode: one point, printed.
+func runClients(n, nfsds int, dur time.Duration) {
+	tput, err := measureClients(n, nfsds, dur)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nfsbench: -clients: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%d client(s) x %v against %d nfsds: %.0f ops/s (READ 8K + LOOKUP)\n",
+		n, dur, nfsds, tput)
+}
+
+// runScaling serves the -scaling mode: the 1/2/4/8-client curve, printed
+// and written to out as JSON.
+func runScaling(nfsds int, dur time.Duration, out string) {
+	fmt.Printf("== scaling: real-socket throughput vs concurrent clients (%d nfsds, GOMAXPROCS %d)\n\n",
+		nfsds, runtime.GOMAXPROCS(0))
+	rep := scalingReport{NFSDs: nfsds, GOMAXPROC: runtime.GOMAXPROCS(0), DurationS: dur.Seconds()}
+	var base float64
+	for _, n := range []int{1, 2, 4, 8} {
+		tput, err := measureClients(n, nfsds, dur)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nfsbench: -scaling (%d clients): %v\n", n, err)
+			os.Exit(1)
+		}
+		if n == 1 {
+			base = tput
+		}
+		speedup := 0.0
+		if base > 0 {
+			speedup = tput / base
+		}
+		fmt.Printf("  %d clients: %8.0f ops/s  (%.2fx)\n", n, tput, speedup)
+		rep.Points = append(rep.Points, scalingPoint{Clients: n, OpsPerS: tput, Speedup: speedup})
+	}
+	fmt.Println()
+	if out == "" {
+		return
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nfsbench: -scaling: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0644); err != nil {
+		fmt.Fprintf(os.Stderr, "nfsbench: -scaling: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", out)
+}

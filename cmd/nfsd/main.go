@@ -7,6 +7,10 @@
 //
 //	nfsd -udp 127.0.0.1:12049 -tcp 127.0.0.1:12049 -stats 127.0.0.1:12050
 //
+// -nfsds sizes the parallel worker pool: UDP requests and every TCP
+// connection dispatch concurrently into the server core, so NFSDs means
+// real parallelism here, not just simulated daemons.
+//
 // The exported filesystem is in-memory and seeded with a small demo tree.
 // The root file handle is printed in hex; cmd/nfsstone and the quickstart
 // example show a client side.
@@ -42,6 +46,7 @@ func main() {
 		tcpAddr   = flag.String("tcp", "127.0.0.1:12049", "TCP listen address")
 		statsAddr = flag.String("stats", "127.0.0.1:12050", "stats HTTP listen address (empty disables)")
 		ultrix    = flag.Bool("ultrix", false, "serve with the Ultrix (reference-port) personality")
+		nfsds     = flag.Int("nfsds", 8, "parallel nfsd worker goroutines (the UDP dispatch pool)")
 		exports   = flag.String("exports", "/,/etc,/home", "comma-separated export paths")
 		rdlook    = flag.Bool("readdirlook", true, "serve the readdir_and_lookup_files extension")
 	)
@@ -59,6 +64,9 @@ func main() {
 		opts = server.Ultrix()
 	}
 	opts.ReaddirLook = *rdlook
+	if *nfsds > 0 {
+		opts.NFSDs = *nfsds
+	}
 	srv := server.New(fs, opts)
 	for _, path := range strings.Split(*exports, ",") {
 		if path != "" {

@@ -11,6 +11,10 @@
 //	                                 side so concurrent observers don't fight)
 //	nfsstat -json                    dump the raw JSON snapshot
 //
+// Besides the per-procedure table it renders the parallel-dispatch view:
+// the nfsd worker pool (rpc.nfsd.busy, per-worker calls and busy time)
+// and the sharded duplicate-request-cache counters (server.dupc.*).
+//
 // The endpoint address must match nfsd's -stats flag.
 package main
 
@@ -115,8 +119,46 @@ func render(snap *metrics.Snapshot, delta bool) {
 			fmt.Sprintf("%.3f", h.Max))
 	}
 	fmt.Print(tb.String())
-	fmt.Printf("calls %d  errors %d  dup hits %d  bytes in %d  bytes out %d\n\n",
+	fmt.Printf("calls %d  errors %d  dup hits %d  bytes in %d  bytes out %d\n",
 		snap.Counters["nfs.calls"], snap.Counters["nfs.errors"],
 		snap.Counters["nfs.dup_hits"], snap.Counters["nfs.bytes_in"],
 		snap.Counters["nfs.bytes_out"])
+	renderWorkers(snap)
+	fmt.Println()
+}
+
+// renderWorkers prints the parallel-dispatch view: the nfsd pool's busy
+// gauge and per-worker tallies (how evenly the queue spreads load), plus
+// the sharded duplicate-request-cache counters.
+func renderWorkers(snap *metrics.Snapshot) {
+	workers := make([]string, 0, 8)
+	for name := range snap.Counters {
+		if rest, ok := strings.CutPrefix(name, "rpc.nfsd."); ok {
+			if id, ok := strings.CutSuffix(rest, ".calls"); ok {
+				workers = append(workers, id)
+			}
+		}
+	}
+	if len(workers) > 0 {
+		sort.Slice(workers, func(i, j int) bool {
+			if len(workers[i]) != len(workers[j]) {
+				return len(workers[i]) < len(workers[j]) // numeric order for numeric ids
+			}
+			return workers[i] < workers[j]
+		})
+		tb := stats.NewTable(fmt.Sprintf("nfsd worker pool (%d workers, %.0f busy now)",
+			len(workers), snap.Gauges["rpc.nfsd.busy"]),
+			"nfsd", "calls", "busy ms")
+		for _, id := range workers {
+			tb.AddRow("nfsd."+id,
+				snap.Counters["rpc.nfsd."+id+".calls"],
+				fmt.Sprintf("%.1f", float64(snap.Counters["rpc.nfsd."+id+".busy_us"])/1000))
+		}
+		fmt.Print(tb.String())
+	}
+	if hits, ok := snap.Counters["server.dupc.shard_hits"]; ok {
+		fmt.Printf("dupcache shards: %d hits  %d lock contentions  %d in-flight drops\n",
+			hits, snap.Counters["server.dupc.contended"],
+			snap.Counters["server.dupc.inflight_drops"])
+	}
 }

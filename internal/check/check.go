@@ -9,7 +9,11 @@
 //     outstanding;
 //   - round-trip and service times never run backwards;
 //   - no lease is granted during the server's crash-recovery window, and
-//     no conflicting leases coexist (one writer XOR many readers).
+//     no conflicting leases coexist (one writer XOR many readers);
+//   - non-idempotent procedures execute at most once per (peer, xid) —
+//     the duplicate-request-cache guarantee — strictly enforced when
+//     SetExactlyOnce is on, tallied otherwise (a replay after a legitimate
+//     cache eviction is at-least-once behaviour, not a bug).
 //
 // Finish audits the end-of-run state: unresolved calls and the
 // sent = replies + failures + outstanding conservation equation.
@@ -57,6 +61,15 @@ type leaseHolder struct {
 	expiry time.Duration
 }
 
+// execKey identifies one non-idempotent execution the way the server's
+// duplicate request cache does.
+type execKey struct {
+	source string
+	peer   string
+	xid    uint32
+	proc   uint32
+}
+
 // Auditor accumulates events and checks invariants. It is safe for
 // concurrent use (the real-socket frontends emit from many goroutines).
 type Auditor struct {
@@ -67,19 +80,35 @@ type Auditor struct {
 	leases        map[string]map[string]leaseHolder
 	recoveryUntil time.Duration
 	inRecovery    bool
-	violations    []Violation
-	counts        map[string]int
+	// executed counts non-idempotent executions per call identity; strict
+	// turns a repeat into a violation (tests that size the duplicate
+	// request cache so nothing should ever evict mid-run).
+	executed   map[execKey]int
+	strict     bool
+	violations []Violation
+	counts     map[string]int
 }
 
 // New creates an auditor reading time from now (the simulation clock in
 // chaos runs, wall clock over real sockets).
 func New(now func() time.Duration) *Auditor {
 	return &Auditor{
-		now:     now,
-		sources: make(map[string]*sourceState),
-		leases:  make(map[string]map[string]leaseHolder),
-		counts:  make(map[string]int),
+		now:      now,
+		sources:  make(map[string]*sourceState),
+		leases:   make(map[string]map[string]leaseHolder),
+		executed: make(map[execKey]int),
+		counts:   make(map[string]int),
 	}
+}
+
+// SetExactlyOnce makes a repeated execution of a non-idempotent procedure
+// a hard violation. Enable it in runs whose duplicate request cache is
+// sized so nothing should evict; leave it off where churn past the cache
+// capacity makes an at-least-once replay legitimate.
+func (a *Auditor) SetExactlyOnce(on bool) {
+	a.mu.Lock()
+	a.strict = on
+	a.mu.Unlock()
 }
 
 // Tracer returns a metrics.Tracer that feeds this auditor, tagging every
@@ -164,6 +193,18 @@ func (a *Auditor) observe(source string, ev metrics.Event) {
 		if e.Service < 0 {
 			a.violate(source, "negative-service-time",
 				fmt.Sprintf("proc %d service %v", e.Proc, e.Service))
+		}
+		if e.NonIdempotent && e.Peer != "" {
+			k := execKey{source: source, peer: e.Peer, xid: e.XID, proc: e.Proc}
+			a.executed[k]++
+			if a.executed[k] > 1 {
+				a.counts["server.reexecution"]++
+				if a.strict {
+					a.violate(source, "duplicate-execution",
+						fmt.Sprintf("proc %d xid %d peer %s executed %d times",
+							e.Proc, e.XID, e.Peer, a.executed[k]))
+				}
+			}
 		}
 	case metrics.ServerCrash:
 		// Reboot: every lease the server granted is forgotten, and none

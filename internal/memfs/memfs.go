@@ -5,6 +5,20 @@
 // write RPC costs 1-3 disk writes on the server (§5) — appear in virtual
 // time. With a nil disk the filesystem is purely functional, which is how
 // the real-socket server (internal/nfsnet) uses it.
+//
+// Locking: the filesystem is safe for concurrent callers (the nfsd pool of
+// internal/nfsnet). A filesystem-level RWMutex orders namespace changes
+// (create/remove/rename/link) against everything else; a per-inode RWMutex
+// orders file-data writers against readers, so LOOKUP/GETATTR/READ of
+// distinct — or even the same — file run in parallel; and a small per-inode
+// metadata mutex covers the fields readers mutate (timestamps and the
+// loaned-block marks), because ReadLoan updates both while holding only
+// read locks. Lock order is fs.mu → Inode.mu → Inode.metaMu. No lock is
+// ever held across a disk charge: under the simulator a disk operation
+// parks the calling process, and a mutex held across a park would wedge the
+// cooperative scheduler — so every method mutates under its locks first and
+// pays the disk after (the pre-existing discipline), and the read paths
+// split into a sizing phase, the disk charge, and a copy phase.
 package memfs
 
 import (
@@ -12,6 +26,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"renonfs/internal/mbuf"
 	"renonfs/internal/nfsproto"
@@ -126,11 +141,24 @@ type Inode struct {
 	loaned map[uint32]bool
 	dir    []DirEnt // directory entries, sorted by name
 	target string   // symlink target
+
+	// mu orders file-data access: readers (ReadAt/ReadLoan/Attr) share it,
+	// writers (WriteAt/WriteAtChain/Setattr) hold it exclusively.
+	mu sync.RWMutex
+	// metaMu covers timestamps and the loaned map, which read-side
+	// operations mutate while holding only mu.RLock (every READ touches
+	// Atime and marks its blocks loaned). Leaf lock: nothing is acquired
+	// under it.
+	metaMu sync.Mutex
 }
 
 // FS is the exported filesystem.
 type FS struct {
-	mu      sync.Mutex
+	// mu is the namespace lock: directory structure, the inode table and
+	// link counts change under the write lock; everything else (lookups,
+	// handle resolution, attribute reads, data I/O) runs under the read
+	// lock and proceeds in parallel.
+	mu      sync.RWMutex
 	FSID    uint32
 	Disk    *Disk
 	clock   func() nfsproto.Time
@@ -139,7 +167,7 @@ type FS struct {
 	root    *Inode
 	// Capacity in blocks, for STATFS.
 	TotalBlocks uint32
-	usedBlocks  uint32
+	usedBlocks  atomic.Int64 // blocks in use, updated lock-free by writers
 }
 
 // New creates an empty filesystem. clock supplies file timestamps (wire it
@@ -154,10 +182,10 @@ func New(fsid uint32, disk *Disk, clock func() nfsproto.Time) *FS {
 		TotalBlocks: 65536,
 	}
 	if fs.clock == nil {
-		var tick uint32
+		var tick atomic.Uint32 // concurrent nfsds all advance file times
 		fs.clock = func() nfsproto.Time {
-			tick++
-			return nfsproto.Time{Sec: tick / 100, USec: (tick % 100) * 10000}
+			t := tick.Add(1)
+			return nfsproto.Time{Sec: t / 100, USec: (t % 100) * 10000}
 		}
 	}
 	fs.root = fs.newInode(nfsproto.TypeDir, 0755)
@@ -182,14 +210,11 @@ func (fs *FS) newInode(typ nfsproto.FileType, mode uint32) *Inode {
 // Root returns the root directory inode.
 func (fs *FS) Root() *Inode { return fs.root }
 
-// Lock serializes external multi-step access (used by the real-socket
-// server; simulation processes are already serialized).
-func (fs *FS) Lock()   { fs.mu.Lock() }
-func (fs *FS) Unlock() { fs.mu.Unlock() }
-
 // Get resolves an inode number, checking the generation for staleness.
 func (fs *FS) Get(ino, gen uint32) (*Inode, error) {
+	fs.mu.RLock()
 	n := fs.inodes[ino]
+	fs.mu.RUnlock()
 	if n == nil || n.Gen != gen {
 		return nil, ErrStale
 	}
@@ -198,13 +223,20 @@ func (fs *FS) Get(ino, gen uint32) (*Inode, error) {
 
 // Attr fills NFS attributes for the inode.
 func (fs *FS) Attr(n *Inode) nfsproto.Fattr {
-	return nfsproto.Fattr{
+	fs.mu.RLock() // Nlink changes under the namespace lock
+	n.mu.RLock()
+	n.metaMu.Lock()
+	a := nfsproto.Fattr{
 		Type: n.Type, Mode: n.Mode, Nlink: n.Nlink, UID: n.UID, GID: n.GID,
 		Size: n.Size, BlockSize: BlockSize,
 		Blocks: (n.Size + BlockSize - 1) / BlockSize,
 		FSID:   fs.FSID, FileID: n.Ino,
 		Atime: n.Atime, Mtime: n.Mtime, Ctime: n.Ctime,
 	}
+	n.metaMu.Unlock()
+	n.mu.RUnlock()
+	fs.mu.RUnlock()
+	return a
 }
 
 // FH builds the NFS file handle for an inode.
@@ -243,6 +275,8 @@ func (fs *FS) Lookup(dir *Inode, name string) (*Inode, error) {
 	if len(name) > nfsproto.MaxNameLen {
 		return nil, ErrNameLen
 	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	i := findEntry(dir, name)
 	if i < 0 {
 		return nil, ErrNoEnt
@@ -254,12 +288,19 @@ func (fs *FS) Lookup(dir *Inode, name string) (*Inode, error) {
 	return n, nil
 }
 
-// DirEntries returns the directory's entries (".." handling is left to the
-// server; the root's parent is itself).
-func (fs *FS) DirEntries(dir *Inode) []DirEnt { return dir.dir }
+// DirEntries returns a snapshot of the directory's entries (".." handling
+// is left to the server; the root's parent is itself). The copy keeps the
+// caller's iteration stable while other nfsds insert or remove entries.
+func (fs *FS) DirEntries(dir *Inode) []DirEnt {
+	fs.mu.RLock()
+	out := append([]DirEnt(nil), dir.dir...)
+	fs.mu.RUnlock()
+	return out
+}
 
 // NumDirBlocks returns how many directory blocks the directory occupies
 // (~32 entries per block, the scale a real UFS directory block holds).
+// Single-threaded callers only; concurrent ones go through FS.DirBlocks.
 func NumDirBlocks(dir *Inode) int {
 	n := (len(dir.dir) + 31) / 32
 	if n == 0 {
@@ -268,13 +309,23 @@ func NumDirBlocks(dir *Inode) int {
 	return n
 }
 
+// DirBlocks is NumDirBlocks under the namespace lock.
+func (fs *FS) DirBlocks(dir *Inode) int {
+	fs.mu.RLock()
+	n := NumDirBlocks(dir)
+	fs.mu.RUnlock()
+	return n
+}
+
 func (fs *FS) touch(n *Inode, mtime bool) {
 	now := fs.clock()
+	n.metaMu.Lock()
 	n.Atime = now
 	if mtime {
 		n.Mtime = now
 		n.Ctime = now
 	}
+	n.metaMu.Unlock()
 }
 
 // insertEntry adds an entry keeping the list sorted.
@@ -294,12 +345,15 @@ func (fs *FS) Create(p *sim.Proc, dir *Inode, name string, mode uint32) (*Inode,
 	if len(name) > nfsproto.MaxNameLen {
 		return nil, ErrNameLen
 	}
+	fs.mu.Lock()
 	if findEntry(dir, name) >= 0 {
+		fs.mu.Unlock()
 		return nil, ErrExist
 	}
 	n := fs.newInode(nfsproto.TypeReg, mode)
 	insertEntry(dir, DirEnt{name, n.Ino})
 	fs.touch(dir, true)
+	fs.mu.Unlock()
 	fs.Disk.Write(p, BlockSize) // directory block
 	fs.Disk.Write(p, 512)       // inode
 	return n, nil
@@ -313,7 +367,9 @@ func (fs *FS) Mkdir(p *sim.Proc, dir *Inode, name string, mode uint32) (*Inode, 
 	if len(name) > nfsproto.MaxNameLen {
 		return nil, ErrNameLen
 	}
+	fs.mu.Lock()
 	if findEntry(dir, name) >= 0 {
+		fs.mu.Unlock()
 		return nil, ErrExist
 	}
 	n := fs.newInode(nfsproto.TypeDir, mode)
@@ -321,6 +377,7 @@ func (fs *FS) Mkdir(p *sim.Proc, dir *Inode, name string, mode uint32) (*Inode, 
 	dir.Nlink++
 	insertEntry(dir, DirEnt{name, n.Ino})
 	fs.touch(dir, true)
+	fs.mu.Unlock()
 	fs.Disk.Write(p, BlockSize)
 	fs.Disk.Write(p, 512)
 	return n, nil
@@ -331,7 +388,9 @@ func (fs *FS) Symlink(p *sim.Proc, dir *Inode, name, target string, mode uint32)
 	if dir.Type != nfsproto.TypeDir {
 		return nil, ErrNotDir
 	}
+	fs.mu.Lock()
 	if findEntry(dir, name) >= 0 {
+		fs.mu.Unlock()
 		return nil, ErrExist
 	}
 	n := fs.newInode(nfsproto.TypeLnk, mode)
@@ -339,6 +398,7 @@ func (fs *FS) Symlink(p *sim.Proc, dir *Inode, name, target string, mode uint32)
 	n.Size = uint32(len(target))
 	insertEntry(dir, DirEnt{name, n.Ino})
 	fs.touch(dir, true)
+	fs.mu.Unlock()
 	fs.Disk.Write(p, BlockSize)
 	fs.Disk.Write(p, 512)
 	return n, nil
@@ -354,12 +414,15 @@ func (fs *FS) Readlink(n *Inode) (string, error) {
 
 // Remove unlinks a file or symlink.
 func (fs *FS) Remove(p *sim.Proc, dir *Inode, name string) error {
+	fs.mu.Lock()
 	i := findEntry(dir, name)
 	if i < 0 {
+		fs.mu.Unlock()
 		return ErrNoEnt
 	}
 	n := fs.inodes[dir.dir[i].Ino]
 	if n != nil && n.Type == nfsproto.TypeDir {
+		fs.mu.Unlock()
 		return ErrIsDir
 	}
 	dir.dir = append(dir.dir[:i], dir.dir[i+1:]...)
@@ -370,6 +433,7 @@ func (fs *FS) Remove(p *sim.Proc, dir *Inode, name string) error {
 			fs.freeInode(n)
 		}
 	}
+	fs.mu.Unlock()
 	fs.Disk.Write(p, BlockSize)
 	fs.Disk.Write(p, 512)
 	return nil
@@ -377,39 +441,52 @@ func (fs *FS) Remove(p *sim.Proc, dir *Inode, name string) error {
 
 // Rmdir removes an empty directory.
 func (fs *FS) Rmdir(p *sim.Proc, dir *Inode, name string) error {
+	fs.mu.Lock()
 	i := findEntry(dir, name)
 	if i < 0 {
+		fs.mu.Unlock()
 		return ErrNoEnt
 	}
 	n := fs.inodes[dir.dir[i].Ino]
 	if n == nil || n.Type != nfsproto.TypeDir {
+		fs.mu.Unlock()
 		return ErrNotDir
 	}
 	if len(n.dir) != 0 {
+		fs.mu.Unlock()
 		return ErrNotEmpty
 	}
 	dir.dir = append(dir.dir[:i], dir.dir[i+1:]...)
 	dir.Nlink--
 	fs.touch(dir, true)
 	fs.freeInode(n)
+	fs.mu.Unlock()
 	fs.Disk.Write(p, BlockSize)
 	fs.Disk.Write(p, 512)
 	return nil
 }
 
+// freeInode runs under fs.mu (write). The inode lock orders the Size read
+// against a writer still streaming into the now-unlinked file.
 func (fs *FS) freeInode(n *Inode) {
-	fs.usedBlocks -= (n.Size + BlockSize - 1) / BlockSize
+	n.mu.RLock()
+	size := n.Size
+	n.mu.RUnlock()
+	fs.usedBlocks.Add(-int64((size + BlockSize - 1) / BlockSize))
 	delete(fs.inodes, n.Ino)
 }
 
 // Rename moves an entry. Directories may be renamed only within the same
 // parent (sufficient for the benchmarks).
 func (fs *FS) Rename(p *sim.Proc, from *Inode, fromName string, to *Inode, toName string) error {
+	fs.mu.Lock()
 	i := findEntry(from, fromName)
 	if i < 0 {
+		fs.mu.Unlock()
 		return ErrNoEnt
 	}
 	if from == to && fromName == toName {
+		fs.mu.Unlock()
 		return nil // renaming onto itself is a no-op, per POSIX
 	}
 	ent := from.dir[i]
@@ -417,6 +494,7 @@ func (fs *FS) Rename(p *sim.Proc, from *Inode, fromName string, to *Inode, toNam
 		// Target exists: replace it (files only).
 		tn := fs.inodes[to.dir[j].Ino]
 		if tn != nil && tn.Type == nfsproto.TypeDir {
+			fs.mu.Unlock()
 			return ErrIsDir
 		}
 		if tn != nil {
@@ -436,6 +514,7 @@ func (fs *FS) Rename(p *sim.Proc, from *Inode, fromName string, to *Inode, toNam
 	if to != from {
 		fs.touch(to, true)
 	}
+	fs.mu.Unlock()
 	fs.Disk.Write(p, BlockSize)
 	fs.Disk.Write(p, BlockSize)
 	return nil
@@ -449,12 +528,15 @@ func (fs *FS) Link(p *sim.Proc, n *Inode, dir *Inode, name string) error {
 	if n.Type == nfsproto.TypeDir {
 		return ErrIsDir
 	}
+	fs.mu.Lock()
 	if findEntry(dir, name) >= 0 {
+		fs.mu.Unlock()
 		return ErrExist
 	}
 	insertEntry(dir, DirEnt{name, n.Ino})
 	n.Nlink++
 	fs.touch(dir, true)
+	fs.mu.Unlock()
 	fs.Disk.Write(p, BlockSize)
 	fs.Disk.Write(p, 512)
 	return nil
@@ -462,6 +544,7 @@ func (fs *FS) Link(p *sim.Proc, n *Inode, dir *Inode, name string) error {
 
 // Setattr applies settable attributes; NoValue fields are skipped.
 func (fs *FS) Setattr(p *sim.Proc, n *Inode, s nfsproto.Sattr) {
+	n.mu.Lock()
 	if s.Mode != nfsproto.NoValue {
 		n.Mode = s.Mode
 	}
@@ -474,16 +557,21 @@ func (fs *FS) Setattr(p *sim.Proc, n *Inode, s nfsproto.Sattr) {
 	if s.Size != nfsproto.NoValue {
 		fs.truncate(n, s.Size)
 	}
+	now := fs.clock() // the clock is park-free (atomic counter or sim time)
+	n.metaMu.Lock()
 	if s.Atime.Sec != nfsproto.NoValue {
 		n.Atime = s.Atime
 	}
 	if s.Mtime.Sec != nfsproto.NoValue {
 		n.Mtime = s.Mtime
 	}
-	n.Ctime = fs.clock()
+	n.Ctime = now
+	n.metaMu.Unlock()
+	n.mu.Unlock()
 	fs.Disk.Write(p, 512)
 }
 
+// truncate runs under n.mu (write).
 func (fs *FS) truncate(n *Inode, size uint32) {
 	if n.Type != nfsproto.TypeReg {
 		return
@@ -502,31 +590,36 @@ func (fs *FS) truncate(n *Inode, size uint32) {
 			}
 		}
 	}
-	if newBlocks >= oldBlocks {
-		fs.usedBlocks += newBlocks - oldBlocks
-	} else {
-		fs.usedBlocks -= oldBlocks - newBlocks
-	}
+	fs.usedBlocks.Add(int64(newBlocks) - int64(oldBlocks))
 	n.Size = size
-	n.Mtime = fs.clock()
+	mtime := fs.clock()
+	n.metaMu.Lock()
+	n.Mtime = mtime
+	n.metaMu.Unlock()
 }
 
 // ReadAt reads up to len(dst) bytes at off; short reads happen at EOF.
-// cached=false charges a disk read.
+// cached=false charges a disk read. The size is fixed before the disk
+// charge (which may park) and the copy runs after it, both under the read
+// lock — so readers of one file proceed in parallel with each other.
 func (fs *FS) ReadAt(p *sim.Proc, n *Inode, off uint32, dst []byte, cached bool) (int, error) {
 	if n.Type == nfsproto.TypeDir {
 		return 0, ErrIsDir
 	}
-	if off >= n.Size {
+	n.mu.RLock()
+	size := n.Size
+	n.mu.RUnlock()
+	if off >= size {
 		return 0, nil
 	}
 	want := uint32(len(dst))
-	if off+want > n.Size {
-		want = n.Size - off
+	if off+want > size {
+		want = size - off
 	}
 	if !cached {
-		fs.Disk.Read(p, int(want))
+		fs.Disk.Read(p, int(want)) // parks under the simulator; no lock held
 	}
+	n.mu.RLock()
 	got := uint32(0)
 	for got < want {
 		b := (off + got) / BlockSize
@@ -546,6 +639,7 @@ func (fs *FS) ReadAt(p *sim.Proc, n *Inode, off uint32, dst []byte, cached bool)
 		}
 		got += nn
 	}
+	n.mu.RUnlock()
 	fs.touch(n, false)
 	return int(got), nil
 }
@@ -564,16 +658,20 @@ func (fs *FS) ReadLoan(p *sim.Proc, n *Inode, off, count uint32, cached bool, c 
 	if n.Type == nfsproto.TypeDir {
 		return 0, ErrIsDir
 	}
-	if off >= n.Size {
+	n.mu.RLock()
+	size := n.Size
+	n.mu.RUnlock()
+	if off >= size {
 		return 0, nil
 	}
 	want := count
-	if off+want > n.Size {
-		want = n.Size - off
+	if off+want > size {
+		want = size - off
 	}
 	if !cached {
-		fs.Disk.Read(p, int(want))
+		fs.Disk.Read(p, int(want)) // parks under the simulator; no lock held
 	}
+	n.mu.RLock()
 	got := uint32(0)
 	for got < want {
 		b := (off + got) / BlockSize
@@ -589,13 +687,19 @@ func (fs *FS) ReadLoan(p *sim.Proc, n *Inode, off, count uint32, cached bool, c 
 			c.AppendExt(zeroBlock[bo : bo+nn])
 		} else {
 			c.AppendExt(blk[bo : bo+nn])
+			// Loan marks are written under the read lock (parallel READs of
+			// one file), so they need the leaf mutex; writableBlock reads
+			// them under the write lock, which the RWMutex orders after us.
+			n.metaMu.Lock()
 			if n.loaned == nil {
 				n.loaned = make(map[uint32]bool)
 			}
 			n.loaned[b] = true
+			n.metaMu.Unlock()
 		}
 		got += nn
 	}
+	n.mu.RUnlock()
 	fs.touch(n, false)
 	return int(got), nil
 }
@@ -603,13 +707,14 @@ func (fs *FS) ReadLoan(p *sim.Proc, n *Inode, off, count uint32, cached bool, c 
 // writableBlock returns block b of n, safe to mutate: allocating it if the
 // file has a hole there, and replacing it with a private copy first if its
 // storage is out on loan to a reply chain (copy-on-write). The old storage
-// stays behind with the chains referencing it.
+// stays behind with the chains referencing it. Runs under n.mu (write),
+// which orders it after every ReadLoan that set a loan mark.
 func (fs *FS) writableBlock(n *Inode, b uint32) []byte {
 	blk := n.blocks[b]
 	if blk == nil {
 		blk = make([]byte, BlockSize)
 		n.blocks[b] = blk
-		fs.usedBlocks++
+		fs.usedBlocks.Add(1)
 		return blk
 	}
 	if n.loaned[b] {
@@ -633,6 +738,7 @@ func (fs *FS) WriteAt(p *sim.Proc, n *Inode, off uint32, src []byte, diskWrites 
 	if int(off)+len(src) > int(fs.TotalBlocks)*BlockSize {
 		return ErrNoSpc
 	}
+	n.mu.Lock()
 	done := uint32(0)
 	for done < uint32(len(src)) {
 		b := (off + done) / BlockSize
@@ -648,6 +754,7 @@ func (fs *FS) WriteAt(p *sim.Proc, n *Inode, off uint32, src []byte, diskWrites 
 	if off+done > n.Size {
 		n.Size = off + done
 	}
+	n.mu.Unlock()
 	fs.touch(n, true)
 	fs.chargeWrite(p, len(src), diskWrites)
 	return nil
@@ -665,6 +772,7 @@ func (fs *FS) WriteAtChain(p *sim.Proc, n *Inode, off uint32, src *mbuf.Chain, d
 	if int(off)+total > int(fs.TotalBlocks)*BlockSize {
 		return ErrNoSpc
 	}
+	n.mu.Lock()
 	pos := off
 	src.ForEach(func(seg []byte) {
 		for len(seg) > 0 {
@@ -683,6 +791,7 @@ func (fs *FS) WriteAtChain(p *sim.Proc, n *Inode, off uint32, src *mbuf.Chain, d
 	if pos > n.Size {
 		n.Size = pos
 	}
+	n.mu.Unlock()
 	fs.touch(n, true)
 	fs.chargeWrite(p, total, diskWrites)
 	return nil
@@ -702,20 +811,26 @@ func (fs *FS) chargeWrite(p *sim.Proc, n, diskWrites int) {
 
 // Statfs reports filesystem capacity.
 func (fs *FS) Statfs() nfsproto.StatfsRes {
+	free := fs.TotalBlocks - uint32(fs.usedBlocks.Load())
 	return nfsproto.StatfsRes{
 		Status: nfsproto.OK,
 		TSize:  nfsproto.MaxData,
 		BSize:  BlockSize,
 		Blocks: fs.TotalBlocks,
-		BFree:  fs.TotalBlocks - fs.usedBlocks,
-		BAvail: fs.TotalBlocks - fs.usedBlocks,
+		BFree:  free,
+		BAvail: free,
 	}
 }
 
 // NumInodes returns the live inode count.
-func (fs *FS) NumInodes() int { return len(fs.inodes) }
+func (fs *FS) NumInodes() int {
+	fs.mu.RLock()
+	n := len(fs.inodes)
+	fs.mu.RUnlock()
+	return n
+}
 
 // String summarizes the filesystem for debugging.
 func (fs *FS) String() string {
-	return fmt.Sprintf("memfs{fsid=%d inodes=%d used=%d blocks}", fs.FSID, len(fs.inodes), fs.usedBlocks)
+	return fmt.Sprintf("memfs{fsid=%d inodes=%d used=%d blocks}", fs.FSID, fs.NumInodes(), fs.usedBlocks.Load())
 }

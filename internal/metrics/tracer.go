@@ -111,11 +111,17 @@ type LeaseVacate struct {
 }
 
 // ServerCall: the server finished one procedure; Service is the in-server
-// time from decode to encoded reply.
+// time from decode to encoded reply. Peer and XID identify the call the
+// way the duplicate request cache does, and NonIdempotent marks the
+// procedures whose re-execution would corrupt state — together they let an
+// auditor assert exactly-once execution under retransmission.
 type ServerCall struct {
-	Proc    uint32
-	Service time.Duration
-	Error   bool
+	Proc          uint32
+	Peer          string
+	XID           uint32
+	NonIdempotent bool
+	Service       time.Duration
+	Error         bool
 }
 
 // ClientCall: a client mount completed one RPC (syscall-level latency,

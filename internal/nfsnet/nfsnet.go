@@ -5,8 +5,13 @@
 // paper claims for the implementation: nothing in the protocol code knows
 // whether its bytes ride a simulated internetwork or a real socket.
 //
-// A single mutex serializes request handling, playing the role of the
-// single-threaded BSD kernel the original ran in.
+// Dispatch is genuinely parallel: a pool of Opts.NFSDs worker goroutines
+// drains a UDP request queue, and every TCP connection is served on its
+// own goroutine, all calling the core's concurrent-safe HandleCall. The
+// giant "kernel lock" of earlier revisions survives only as a read/write
+// quiesce gate: every dispatch holds the read side (concurrently with all
+// others), and Crash takes the write side to swap the volatile state with
+// no call in flight.
 package nfsnet
 
 import (
@@ -15,9 +20,11 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"renonfs/internal/mbuf"
+	"renonfs/internal/metrics"
 	"renonfs/internal/nfsproto"
 	"renonfs/internal/rpc"
 	"renonfs/internal/server"
@@ -27,18 +34,47 @@ import (
 // Server serves an NFS server core over real sockets.
 type Server struct {
 	srv *server.Server
-	mu  sync.Mutex // the "kernel lock" around the shared server state
 
 	udp *net.UDPConn
 	tcp net.Listener
 
-	closed  chan struct{}
-	closeMu sync.Once
-	wg      sync.WaitGroup
+	// crashMu is the quiesce gate described in the package comment. It is
+	// not a serializer: dispatches share the read side.
+	crashMu sync.RWMutex
+
+	// jobs carries decoded UDP datagrams from the reader to the nfsd pool.
+	// The reader closes it on shutdown; the workers drain what is queued.
+	jobs chan udpJob
+
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	// Shutdown drains in order: reader, then the worker pool (so every
+	// queued request still gets its reply), then the acceptor, then the
+	// per-connection servers.
+	readerWG, workerWG, acceptWG, connWG sync.WaitGroup
+
+	// Live TCP connections, so Close can kick their readers.
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	// nfsd utilization: how many dispatchers are inside HandleCall right
+	// now, mirrored into the rpc.nfsd.busy gauge.
+	busyCount atomic.Int64
+	busy      *metrics.Gauge
+}
+
+// udpJob is one datagram awaiting an nfsd: the request already lives in
+// (pooled) mbufs, so the reader's socket buffer is immediately reusable.
+type udpJob struct {
+	addr *net.UDPAddr
+	req  *mbuf.Chain
 }
 
 // Serve starts UDP and TCP listeners on the given addresses (use
-// "127.0.0.1:0" to pick free ports).
+// "127.0.0.1:0" to pick free ports) and a pool of srv.Opts.NFSDs worker
+// goroutines. It widens the core's cache lock striping for concurrent
+// dispatch, so the server should not also be serving simulator traffic.
 func Serve(srv *server.Server, udpAddr, tcpAddr string) (*Server, error) {
 	ua, err := net.ResolveUDPAddr("udp", udpAddr)
 	if err != nil {
@@ -53,9 +89,27 @@ func Serve(srv *server.Server, udpAddr, tcpAddr string) (*Server, error) {
 		uc.Close()
 		return nil, err
 	}
-	s := &Server{srv: srv, udp: uc, tcp: tl, closed: make(chan struct{})}
-	s.wg.Add(2)
+	srv.EnableConcurrentDispatch()
+	nfsds := srv.Opts.NFSDs
+	if nfsds < 1 {
+		nfsds = 1
+	}
+	s := &Server{
+		srv:    srv,
+		udp:    uc,
+		tcp:    tl,
+		jobs:   make(chan udpJob, 4*nfsds),
+		closed: make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+		busy:   srv.Metrics.Gauge("rpc.nfsd.busy"),
+	}
+	for i := 0; i < nfsds; i++ {
+		s.workerWG.Add(1)
+		go s.nfsd(i)
+	}
+	s.readerWG.Add(1)
 	go s.serveUDP()
+	s.acceptWG.Add(1)
 	go s.serveTCP()
 	return s, nil
 }
@@ -71,28 +125,48 @@ func (s *Server) UDPAddr() string { return s.udp.LocalAddr().String() }
 // TCPAddr returns the bound TCP address.
 func (s *Server) TCPAddr() string { return s.tcp.Addr().String() }
 
-// Close stops the listeners and waits for the serving goroutines.
+// Close shuts the frontends down gracefully: no queued request loses its
+// reply, and no serving goroutine is leaked. The UDP reader is kicked out
+// of its blocking read by a deadline (the socket stays open so the worker
+// pool can still send replies), the pool drains the queue, and each TCP
+// connection finishes the record it is serving before its reader is kicked
+// the same way. Idempotent.
 func (s *Server) Close() {
-	s.closeMu.Do(func() {
+	s.closeOnce.Do(func() {
 		close(s.closed)
-		s.udp.Close()
+		s.udp.SetReadDeadline(time.Now())
+		s.readerWG.Wait() // reader exits, closing the jobs channel
+		s.workerWG.Wait() // pool drains queued requests, replies sent
 		s.tcp.Close()
+		s.acceptWG.Wait()
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.SetReadDeadline(time.Now())
+		}
+		s.connMu.Unlock()
+		s.connWG.Wait()
+		s.udp.Close()
 	})
-	s.wg.Wait()
 }
 
-func (s *Server) handle(peer string, req []byte) []byte {
+// dispatch runs one request (which the callee consumes) through the core
+// under the crash gate and returns the linearized reply bytes, or nil when
+// the call produced no reply (garbage, crash window, in-flight duplicate).
+func (s *Server) dispatch(peer string, req *mbuf.Chain) []byte {
+	s.crashMu.RLock()
+	defer s.crashMu.RUnlock()
 	if s.srv.Down() {
+		req.Free()
 		return nil // crashed: the request vanishes, like the sim frontends
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	reqChain := mbuf.FromBytes(req)
-	rep := s.srv.HandleCall(nil, peer, reqChain)
+	n := s.busyCount.Add(1)
+	s.busy.Set(float64(n))
+	rep := s.srv.HandleCall(nil, peer, req)
+	s.busy.Set(float64(s.busyCount.Add(-1)))
 	// The request chain is ours (built from the socket read buffer) and the
 	// call is finished with it; recycle its mbufs. The reply is linearized
 	// for the socket, so its mbufs can go back too.
-	reqChain.Free()
+	req.Free()
 	if rep == nil {
 		return nil
 	}
@@ -106,16 +180,20 @@ func (s *Server) handle(peer string, req []byte) []byte {
 func (s *Server) SetDown(down bool) { s.srv.SetDown(down) }
 
 // Crash simulates a server reboot, dropping all volatile core state. It
-// takes the kernel lock, so it is safe to call while requests are being
-// served — unlike calling Core().Crash() directly.
+// takes the quiesce gate exclusively, so it is safe to call while requests
+// are being served — unlike calling Core().Crash() directly.
 func (s *Server) Crash() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.crashMu.Lock()
+	defer s.crashMu.Unlock()
 	s.srv.Crash()
 }
 
+// serveUDP is the single socket reader: it moves each datagram into pooled
+// mbufs and queues it for the nfsd pool, the way the BSD network interrupt
+// handed mbuf chains to sleeping nfsds.
 func (s *Server) serveUDP() {
-	defer s.wg.Done()
+	defer s.readerWG.Done()
+	defer close(s.jobs)
 	buf := make([]byte, 65536)
 	for {
 		n, addr, err := s.udp.ReadFromUDP(buf)
@@ -127,15 +205,30 @@ func (s *Server) serveUDP() {
 				continue
 			}
 		}
-		rep := s.handle("udp:"+addr.String(), buf[:n])
+		s.jobs <- udpJob{addr: addr, req: mbuf.FromBytes(buf[:n])}
+	}
+}
+
+// nfsd is one worker of the dispatch pool. Its per-worker counters
+// (rpc.nfsd.<id>.calls, rpc.nfsd.<id>.busy_us) expose how evenly the queue
+// spreads load, and the shared rpc.nfsd.busy gauge the pool's utilization.
+func (s *Server) nfsd(id int) {
+	defer s.workerWG.Done()
+	calls := s.srv.Metrics.Counter(fmt.Sprintf("rpc.nfsd.%d.calls", id))
+	busyUS := s.srv.Metrics.Counter(fmt.Sprintf("rpc.nfsd.%d.busy_us", id))
+	for job := range s.jobs {
+		start := time.Now()
+		rep := s.dispatch("udp:"+job.addr.String(), job.req)
+		busyUS.Add(time.Since(start).Microseconds())
+		calls.Inc()
 		if rep != nil {
-			s.udp.WriteToUDP(rep, addr)
+			s.udp.WriteToUDP(rep, job.addr)
 		}
 	}
 }
 
 func (s *Server) serveTCP() {
-	defer s.wg.Done()
+	defer s.acceptWG.Done()
 	for {
 		conn, err := s.tcp.Accept()
 		if err != nil {
@@ -146,14 +239,25 @@ func (s *Server) serveTCP() {
 				continue
 			}
 		}
-		s.wg.Add(1)
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.connWG.Add(1)
 		go s.serveConn(conn)
 	}
 }
 
+// serveConn serves one TCP connection: requests on a connection execute in
+// order (as the record stream demands), but connections run concurrently
+// with each other and with the UDP pool.
 func (s *Server) serveConn(conn net.Conn) {
-	defer s.wg.Done()
-	defer conn.Close()
+	defer s.connWG.Done()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		conn.Close()
+	}()
 	peer := "tcp:" + conn.RemoteAddr().String()
 	var scan rpc.RecordScanner
 	buf := make([]byte, 65536)
@@ -167,7 +271,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		for _, rec := range recs {
-			rep := s.handle(peer, rec)
+			rep := s.dispatch(peer, mbuf.FromBytes(rec))
 			if rep == nil {
 				continue
 			}

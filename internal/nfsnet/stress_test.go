@@ -1,0 +1,358 @@
+package nfsnet
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"renonfs/internal/check"
+	"renonfs/internal/mbuf"
+	"renonfs/internal/memfs"
+	"renonfs/internal/nfsproto"
+	"renonfs/internal/rpc"
+	"renonfs/internal/server"
+	"renonfs/internal/xdr"
+)
+
+// encodeRemove builds the wire bytes of one REMOVE call.
+func encodeRemove(xid uint32, dir nfsproto.FH, name string) []byte {
+	msg := &mbuf.Chain{}
+	rpc.EncodeCall(msg, &rpc.Call{XID: xid, Prog: nfsproto.Program, Vers: nfsproto.Version, Proc: nfsproto.ProcRemove})
+	(&nfsproto.DiropArgs{Dir: dir, Name: name}).Encode(xdr.NewEncoder(msg))
+	out := msg.Bytes()
+	msg.Free()
+	return out
+}
+
+// TestRetransmitStormExactlyOnce hammers the sharded duplicate request
+// cache: UDP clients fire every non-idempotent REMOVE several times
+// back-to-back (simulating aggressive retransmission), while TCP clients
+// churn ordinary traffic, all against the parallel nfsd pool. Exactly-once
+// must hold: every reply to a duplicated REMOVE is the one cached from the
+// single execution (status OK), never the ErrNoEnt a re-execution would
+// produce — and the strict auditor confirms no non-idempotent procedure
+// ran twice. Run with -race.
+func TestRetransmitStormExactlyOnce(t *testing.T) {
+	fs := memfs.New(1, nil, nil)
+	opts := server.Reno()
+	opts.NFSDs = 8
+	// Size the cache so nothing evicts mid-run: with no eviction, any
+	// re-execution is a hard exactly-once violation.
+	opts.DupCacheSize = 4096
+	srv := server.New(fs, opts)
+	epoch := time.Now()
+	aud := check.New(func() time.Duration { return time.Since(epoch) })
+	aud.SetExactlyOnce(true)
+	srv.Tracer = aud.Tracer("server")
+	s, err := Serve(srv, "127.0.0.1:0", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	root := srv.RootFH()
+
+	const workers = 4
+	const filesPerWorker = 8
+
+	// Set up the victim files through an ordinary client.
+	setup, err := DialUDP(s.UDPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < filesPerWorker; i++ {
+			name := fmt.Sprintf("victim-%d-%d", w, i)
+			if res, err := setup.Create(root, name, 0644); err != nil || res.Status != nfsproto.OK {
+				t.Fatalf("create %s: %v %v", name, res, err)
+			}
+		}
+	}
+	setup.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers+2)
+
+	// TCP churn in parallel with the storm.
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl, err := DialTCP(s.TCPAddr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < 10; i++ {
+				name := fmt.Sprintf("churn-%d-%d", id, i)
+				res, err := cl.Create(root, name, 0644)
+				if err != nil || res.Status != nfsproto.OK {
+					errs <- fmt.Errorf("tcp create %s: %v %v", name, res, err)
+					return
+				}
+				if _, err := cl.Write(res.File, 0, []byte("tcp churn payload")); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := cl.Read(res.File, 0, 17); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+
+	// UDP retransmit storm: each worker REMOVEs its files, sending every
+	// datagram three times without waiting, then collects the replies.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			conn, err := net.Dial("udp", s.UDPAddr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			buf := make([]byte, 65536)
+			for i := 0; i < filesPerWorker; i++ {
+				name := fmt.Sprintf("victim-%d-%d", id, i)
+				xid := uint32(1000*id + i + 1)
+				wire := encodeRemove(xid, root, name)
+				for burst := 0; burst < 3; burst++ {
+					if _, err := conn.Write(wire); err != nil {
+						errs <- err
+						return
+					}
+				}
+				// Collect every reply to this xid; the first may take a
+				// moment (execution), later ones come from the cache, and
+				// in-flight duplicates legitimately produce none at all.
+				got := 0
+				deadline := time.Now().Add(2 * time.Second)
+				for time.Now().Before(deadline) {
+					wait := 150 * time.Millisecond
+					if got == 0 {
+						wait = time.Second
+					}
+					conn.SetReadDeadline(time.Now().Add(wait))
+					n, err := conn.Read(buf)
+					if err != nil {
+						if got > 0 {
+							break
+						}
+						continue
+					}
+					chain := mbuf.FromBytes(buf[:n])
+					rxid, err := rpc.PeekXID(chain)
+					if err != nil || rxid != xid {
+						chain.Free()
+						continue // stale reply from an earlier xid
+					}
+					d := xdr.NewDecoder(chain)
+					if _, err := rpc.DecodeReply(d); err != nil {
+						errs <- fmt.Errorf("xid %d: bad reply: %v", xid, err)
+						return
+					}
+					res, err := nfsproto.DecodeStatusRes(d)
+					if err != nil {
+						errs <- fmt.Errorf("xid %d: bad status: %v", xid, err)
+						return
+					}
+					if res.Status != nfsproto.OK {
+						errs <- fmt.Errorf("xid %d (%s): reply %d after %d OKs — non-idempotent REMOVE re-executed",
+							xid, name, res.Status, got)
+						return
+					}
+					got++
+				}
+				if got == 0 {
+					errs <- fmt.Errorf("xid %d (%s): no reply at all", xid, name)
+					return
+				}
+				// A late retransmission, after the reply was committed, must
+				// be answered from the cache with the same OK.
+				if _, err := conn.Write(wire); err != nil {
+					errs <- err
+					return
+				}
+				conn.SetReadDeadline(time.Now().Add(time.Second))
+				if n, err := conn.Read(buf); err == nil {
+					chain := mbuf.FromBytes(buf[:n])
+					if rxid, err := rpc.PeekXID(chain); err == nil && rxid == xid {
+						d := xdr.NewDecoder(chain)
+						if _, err := rpc.DecodeReply(d); err == nil {
+							if res, err := nfsproto.DecodeStatusRes(d); err == nil && res.Status != nfsproto.OK {
+								errs <- fmt.Errorf("xid %d: late retransmit got %d, want cached OK", xid, res.Status)
+								return
+							}
+						}
+					}
+				}
+			}
+		}(w)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if hits := srv.Stats.DupHits.Load(); hits == 0 {
+		t.Error("retransmit storm produced zero duplicate cache hits")
+	}
+	if v := aud.Finish(); len(v) != 0 {
+		t.Errorf("auditor found %d violations, first: %v", len(v), v[0])
+	}
+	// Every file must actually be gone — each REMOVE executed (once).
+	for w := 0; w < workers; w++ {
+		for i := 0; i < filesPerWorker; i++ {
+			name := fmt.Sprintf("victim-%d-%d", w, i)
+			if _, err := fs.Lookup(fs.Root(), name); err != memfs.ErrNoEnt {
+				t.Errorf("%s still present after REMOVE (err %v)", name, err)
+			}
+		}
+	}
+}
+
+// TestCloseDrainsWithoutLeaks checks the graceful-shutdown contract: after
+// Close returns, every frontend goroutine (reader, nfsd pool, acceptor,
+// per-connection servers) has exited.
+func TestCloseDrainsWithoutLeaks(t *testing.T) {
+	base := runtime.NumGoroutine()
+	fs := memfs.New(1, nil, nil)
+	opts := server.Reno()
+	opts.NFSDs = 8
+	srv := server.New(fs, opts)
+	s, err := Serve(srv, "127.0.0.1:0", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := srv.RootFH()
+
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			ucl, err := DialUDP(s.UDPAddr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer ucl.Close()
+			tcl, err := DialTCP(s.TCPAddr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer tcl.Close()
+			for i := 0; i < 25; i++ {
+				if _, err := ucl.Getattr(root); err != nil {
+					t.Errorf("udp getattr: %v", err)
+					return
+				}
+				if _, err := tcl.Getattr(root); err != nil {
+					t.Errorf("tcp getattr: %v", err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	s.Close()
+	s.Close() // idempotent
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > base {
+		t.Errorf("goroutine leak after Close: %d running, %d at baseline", g, base)
+	}
+}
+
+// TestScalingSmoke verifies that the parallel dispatch layer actually
+// scales: 4 concurrent clients must push at least 1.5x the throughput of
+// one. Real parallelism needs real cores, so the test is opt-in (CI runs
+// it with RENONFS_SCALING=1 on a multicore runner).
+func TestScalingSmoke(t *testing.T) {
+	if os.Getenv("RENONFS_SCALING") == "" {
+		t.Skip("set RENONFS_SCALING=1 to run the scaling smoke test")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("needs >= 4 CPUs, have %d", runtime.NumCPU())
+	}
+	tput := func(clients int) float64 {
+		fs := memfs.New(1, nil, nil)
+		opts := server.Reno()
+		opts.NFSDs = 8
+		srv := server.New(fs, opts)
+		s, err := Serve(srv, "127.0.0.1:0", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		root := srv.RootFH()
+		setup, err := DialUDP(s.UDPAddr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr, err := setup.Create(root, "bench.dat", 0644)
+		if err != nil || cr.Status != nfsproto.OK {
+			t.Fatalf("create: %v %v", cr, err)
+		}
+		payload := make([]byte, nfsproto.MaxData)
+		if _, err := setup.Write(cr.File, 0, payload); err != nil {
+			t.Fatal(err)
+		}
+		setup.Close()
+
+		const dur = 1500 * time.Millisecond
+		var ops int64
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		stop := time.Now().Add(dur)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cl, err := DialUDP(s.UDPAddr())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer cl.Close()
+				n := int64(0)
+				for time.Now().Before(stop) {
+					if _, err := cl.Read(cr.File, 0, nfsproto.MaxData); err != nil {
+						t.Errorf("read: %v", err)
+						return
+					}
+					if _, err := cl.Lookup(root, "bench.dat"); err != nil {
+						t.Errorf("lookup: %v", err)
+						return
+					}
+					n += 2
+				}
+				mu.Lock()
+				ops += n
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		return float64(ops) / dur.Seconds()
+	}
+
+	t1 := tput(1)
+	t4 := tput(4)
+	t.Logf("throughput: 1 client %.0f ops/s, 4 clients %.0f ops/s (%.2fx)", t1, t4, t4/t1)
+	if t4 < 1.5*t1 {
+		t.Errorf("4-client throughput %.0f ops/s < 1.5x 1-client %.0f ops/s", t4, t1)
+	}
+}

@@ -2,8 +2,10 @@ package server
 
 import (
 	"container/list"
+	"sync"
 
 	"renonfs/internal/mbuf"
+	"renonfs/internal/metrics"
 )
 
 // dupKey identifies one RPC for duplicate detection: who sent it, its
@@ -20,7 +22,28 @@ type dupKey struct {
 // to non-idempotent calls, keyed by caller and transaction id, so that a
 // retransmitted REMOVE or CREATE is answered from cache instead of being
 // re-executed (the "at least once" hazard the conclusions call out).
+//
+// The cache is split into dupKey-hashed shards, each with its own mutex and
+// LRU list, so the nfsd pool of concurrent frontends does not serialize on
+// one cache lock. Entries carry an in-progress state: begin claims a key
+// before execution, and a retransmission that arrives while the original is
+// still executing is dropped rather than executed a second time — the only
+// answer that preserves exactly-once for non-idempotent procedures when two
+// workers can hold the same call concurrently (the client retransmits again
+// and finds the committed reply). Small caches collapse to one shard so the
+// eviction order stays the exact global LRU the churn tests pin down.
 type dupCache struct {
+	shards []dupShard
+	mask   uint32
+
+	// Aggregate observability, wired by the server (nil in bare tests):
+	// shard hits, lock contention seen by begin/commit, and retransmissions
+	// dropped because the original call was still in flight.
+	cHits, cContended, cDrops *metrics.Counter
+}
+
+type dupShard struct {
+	mu      sync.Mutex
 	cap     int
 	entries map[dupKey]*list.Element
 	order   *list.List // front = newest; values are *dupEntry
@@ -29,41 +52,164 @@ type dupCache struct {
 type dupEntry struct {
 	key   dupKey
 	reply *mbuf.Chain
+	done  bool // false while the original call is still executing
 }
 
 func newDupCache(capacity int) *dupCache {
-	return &dupCache{
-		cap:     capacity,
-		entries: make(map[dupKey]*list.Element),
-		order:   list.New(),
+	if capacity < 1 {
+		capacity = 1
 	}
+	// Shard only when every shard keeps a meaningful LRU depth (≥16); up to
+	// 16 shards. A 64-entry default gets 4 shards; test-sized caches (8, 16)
+	// keep the exact single-LRU behaviour.
+	n := 1
+	for n*2 <= 16 && capacity/(n*2) >= 16 {
+		n *= 2
+	}
+	c := &dupCache{shards: make([]dupShard, n), mask: uint32(n - 1)}
+	for i := range c.shards {
+		c.shards[i] = dupShard{
+			cap:     capacity / n,
+			entries: make(map[dupKey]*list.Element),
+			order:   list.New(),
+		}
+	}
+	return c
 }
 
-// get returns the cached reply for key, or nil.
+// instrument attaches the server's counters (safe to leave nil).
+func (c *dupCache) instrument(hits, contended, drops *metrics.Counter) {
+	c.cHits, c.cContended, c.cDrops = hits, contended, drops
+}
+
+func (c *dupCache) shard(key dupKey) *dupShard {
+	h := key.xid*0x9e3779b1 ^ key.proc*0x85ebca77
+	for i := 0; i < len(key.peer); i++ {
+		h = h*16777619 ^ uint32(key.peer[i])
+	}
+	return &c.shards[(h>>16^h)&c.mask]
+}
+
+// lock takes the shard lock, counting contention when it has to wait.
+func (c *dupCache) lock(sh *dupShard) {
+	if sh.mu.TryLock() {
+		return
+	}
+	if c.cContended != nil {
+		c.cContended.Add(1)
+	}
+	sh.mu.Lock()
+}
+
+// begin claims key before executing its call. Exactly one case holds:
+//
+//   - cached != nil: a completed reply is on file — a duplicate hit; the
+//     caller clones it and answers without executing.
+//   - inflight: another worker is executing this very call right now — the
+//     caller drops the request (the client's next retransmission finds the
+//     committed reply).
+//   - neither: the key is now marked in progress and the caller must
+//     execute the call and commit the reply.
+func (c *dupCache) begin(key dupKey) (cached *mbuf.Chain, inflight bool) {
+	sh := c.shard(key)
+	c.lock(sh)
+	if e := sh.entries[key]; e != nil {
+		ent := e.Value.(*dupEntry)
+		if !ent.done {
+			sh.mu.Unlock()
+			if c.cDrops != nil {
+				c.cDrops.Add(1)
+			}
+			return nil, true
+		}
+		sh.order.MoveToFront(e)
+		sh.mu.Unlock()
+		if c.cHits != nil {
+			c.cHits.Add(1)
+		}
+		return ent.reply, false
+	}
+	sh.insertLocked(&dupEntry{key: key})
+	sh.mu.Unlock()
+	return nil, false
+}
+
+// commit stores the reply for a key claimed by begin.
+func (c *dupCache) commit(key dupKey, reply *mbuf.Chain) {
+	sh := c.shard(key)
+	c.lock(sh)
+	if e := sh.entries[key]; e != nil {
+		ent := e.Value.(*dupEntry)
+		ent.reply = reply
+		ent.done = true
+	} else {
+		// The in-progress marker was evicted (overfull shard): file the
+		// reply as a fresh completed entry.
+		sh.insertLocked(&dupEntry{key: key, reply: reply, done: true})
+	}
+	sh.mu.Unlock()
+}
+
+// insertLocked files a new entry, evicting the oldest completed entry when
+// the shard is full. In-progress markers are never evicted unless nothing
+// else remains — losing one mid-execution would forfeit the exactly-once
+// guarantee the marker exists to provide.
+func (sh *dupShard) insertLocked(ent *dupEntry) {
+	if sh.order.Len() >= sh.cap {
+		for e := sh.order.Back(); e != nil; e = e.Prev() {
+			old := e.Value.(*dupEntry)
+			if old.done || sh.order.Len() > 2*sh.cap {
+				sh.order.Remove(e)
+				delete(sh.entries, old.key)
+				break
+			}
+		}
+	}
+	sh.entries[ent.key] = sh.order.PushFront(ent)
+}
+
+// len returns the number of cached replies (including in-progress markers).
+func (c *dupCache) len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.order.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// get returns the cached reply for key, or nil. Retained for tests; the
+// serving path uses begin/commit.
 func (c *dupCache) get(key dupKey) *mbuf.Chain {
-	e := c.entries[key]
+	sh := c.shard(key)
+	c.lock(sh)
+	defer sh.mu.Unlock()
+	e := sh.entries[key]
 	if e == nil {
 		return nil
 	}
-	c.order.MoveToFront(e)
-	return e.Value.(*dupEntry).reply
+	ent := e.Value.(*dupEntry)
+	if !ent.done {
+		return nil
+	}
+	sh.order.MoveToFront(e)
+	return ent.reply
 }
 
-// put stores a reply, evicting the oldest entry beyond capacity.
+// put stores a completed reply directly (tests; the serving path commits).
 func (c *dupCache) put(key dupKey, reply *mbuf.Chain) {
-	if e := c.entries[key]; e != nil {
-		e.Value.(*dupEntry).reply = reply
-		c.order.MoveToFront(e)
+	sh := c.shard(key)
+	c.lock(sh)
+	if e := sh.entries[key]; e != nil {
+		ent := e.Value.(*dupEntry)
+		ent.reply = reply
+		ent.done = true
+		sh.order.MoveToFront(e)
+		sh.mu.Unlock()
 		return
 	}
-	if c.order.Len() >= c.cap {
-		back := c.order.Back()
-		old := back.Value.(*dupEntry)
-		c.order.Remove(back)
-		delete(c.entries, old.key)
-	}
-	c.entries[key] = c.order.PushFront(&dupEntry{key: key, reply: reply})
+	sh.insertLocked(&dupEntry{key: key, reply: reply, done: true})
+	sh.mu.Unlock()
 }
-
-// len returns the number of cached replies.
-func (c *dupCache) len() int { return c.order.Len() }

@@ -101,11 +101,14 @@ func (s *Server) sendEviction(p *sim.Proc, to holderAddr, fh nfsproto.FH) {
 	s.Metrics.Counter("nfs.lease_evictions").Add(1)
 }
 
-// evictHolders notifies every current holder and marks the lease as being
-// vacated.
-func (s *Server) evictHolders(p *sim.Proc, fh nfsproto.FH, st *leaseState, except string) {
+// collectEvictions marks the lease as being vacated and returns the
+// callback addresses to notify, in deterministic peer order. It runs under
+// leaseMu; the sends happen after the lock is dropped, because the callback
+// socket parks the sending proc under the simulator (holding a real mutex
+// across a park deadlocks the cooperative scheduler).
+func collectEvictions(st *leaseState, except string) []holderAddr {
 	if st.vacating {
-		return
+		return nil
 	}
 	st.vacating = true
 	peers := make([]string, 0, len(st.holders))
@@ -113,11 +116,20 @@ func (s *Server) evictHolders(p *sim.Proc, fh nfsproto.FH, st *leaseState, excep
 		peers = append(peers, peer)
 	}
 	sort.Strings(peers)
+	addrs := make([]holderAddr, 0, len(peers))
 	for _, peer := range peers {
 		if peer == except {
 			continue
 		}
-		s.sendEviction(p, st.holders[peer], fh)
+		addrs = append(addrs, st.holders[peer])
+	}
+	return addrs
+}
+
+// sendEvictions fires the collected notices (outside leaseMu).
+func (s *Server) sendEvictions(p *sim.Proc, fh nfsproto.FH, to []holderAddr) {
+	for _, addr := range to {
+		s.sendEviction(p, addr, fh)
 	}
 }
 
@@ -128,24 +140,31 @@ func (s *Server) leaseConflict(p *sim.Proc, fh nfsproto.FH, write bool, peer str
 	if !s.Opts.Leases {
 		return false
 	}
+	s.leaseMu.Lock()
 	st := s.leaseTable()[fh]
 	if st == nil {
+		s.leaseMu.Unlock()
 		return false
 	}
 	now := s.now()
 	if now >= st.expiry {
 		delete(s.leaseTab, fh)
+		s.leaseMu.Unlock()
 		return false
 	}
 	if _, holder := st.holders[peer]; holder {
 		if !write || st.mode == nfsproto.LeaseWrite {
+			s.leaseMu.Unlock()
 			return false
 		}
 	}
 	if !write && st.mode == nfsproto.LeaseRead {
+		s.leaseMu.Unlock()
 		return false // reads coexist with read leases
 	}
-	s.evictHolders(p, fh, st, peer)
+	evict := collectEvictions(st, peer)
+	s.leaseMu.Unlock()
+	s.sendEvictions(p, fh, evict)
 	return true
 }
 
@@ -179,8 +198,10 @@ func (s *Server) leaseCall(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Enco
 	if req := time.Duration(args.Duration) * time.Second; req > 0 && req < dur {
 		dur = req
 	}
+	s.leaseMu.Lock()
 	// NQNFS crash recovery: no grants until pre-crash leases have expired.
 	if now < s.noGrantsUntil {
+		s.leaseMu.Unlock()
 		(&nfsproto.LeaseRes{Status: nfsproto.ErrTryLater}).Encode(e)
 		return nil
 	}
@@ -207,6 +228,7 @@ func (s *Server) leaseCall(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Enco
 	if st != nil {
 		_, isHolder = st.holders[peer]
 	}
+	var evict []holderAddr
 	switch {
 	case st == nil:
 		tab[args.File] = &leaseState{
@@ -235,9 +257,11 @@ func (s *Server) leaseCall(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Enco
 		grant()
 	default:
 		// Conflict: evict and tell the requester to come back.
-		s.evictHolders(p, args.File, st, "")
+		evict = collectEvictions(st, "")
 		(&nfsproto.LeaseRes{Status: nfsproto.ErrTryLater}).Encode(e)
 	}
+	s.leaseMu.Unlock()
+	s.sendEvictions(p, args.File, evict)
 	return nil
 }
 
@@ -249,6 +273,7 @@ func (s *Server) vacatedCall(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.En
 		return err
 	}
 	s.charge(p, "nfs", costVOP)
+	s.leaseMu.Lock()
 	if st := s.leaseTable()[args.File]; st != nil {
 		if _, held := st.holders[peer]; held {
 			delete(st.holders, peer)
@@ -258,6 +283,7 @@ func (s *Server) vacatedCall(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.En
 			delete(s.leaseTab, args.File)
 		}
 	}
+	s.leaseMu.Unlock()
 	(&nfsproto.StatusRes{Status: nfsproto.OK}).Encode(e)
 	return nil
 }
@@ -324,6 +350,7 @@ func (s *Server) EnableLeaseCallbacks(sock *netsim.UDPSocket) { s.cbSock = sock 
 func (s *Server) Leases() int {
 	n := 0
 	now := s.now()
+	s.leaseMu.Lock()
 	for fh, st := range s.leaseTable() {
 		if now < st.expiry {
 			n++
@@ -331,5 +358,6 @@ func (s *Server) Leases() int {
 			delete(s.leaseTab, fh)
 		}
 	}
+	s.leaseMu.Unlock()
 	return n
 }

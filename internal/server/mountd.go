@@ -3,6 +3,7 @@ package server
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"renonfs/internal/memfs"
 	"renonfs/internal/nfsproto"
@@ -23,20 +24,29 @@ const (
 	mntENOTDIR = 20
 )
 
-// mountState tracks exports and active mounts (soft state, like rmtab).
+// mountState tracks exports and active mounts (soft state, like rmtab),
+// behind one leaf mutex — mountd traffic is rare enough that striping it
+// would be noise.
 type mountState struct {
+	mu sync.Mutex
 	// exports maps export path -> restriction groups (empty = everyone).
 	exports map[string][]string
 	// mounts maps "host dir" -> entry, for DUMP.
 	mounts map[string]nfsproto.MountEntry
 }
 
+func newMountState() *mountState {
+	return &mountState{
+		exports: map[string][]string{"/": nil},
+		mounts:  make(map[string]nfsproto.MountEntry),
+	}
+}
+
+// mountState returns the mount table; New allocates it eagerly, the lazy
+// path only serves zero-value Servers built directly in tests.
 func (s *Server) mountState() *mountState {
 	if s.mounts == nil {
-		s.mounts = &mountState{
-			exports: map[string][]string{"/": nil},
-			mounts:  make(map[string]nfsproto.MountEntry),
-		}
+		s.mounts = newMountState()
 	}
 	return s.mounts
 }
@@ -44,16 +54,21 @@ func (s *Server) mountState() *mountState {
 // Export adds path to the export list (the root "/" is exported by
 // default). Groups restrict which peers may mount; empty allows everyone.
 func (s *Server) Export(path string, groups ...string) {
-	s.mountState().exports[path] = groups
+	st := s.mountState()
+	st.mu.Lock()
+	st.exports[path] = groups
+	st.mu.Unlock()
 }
 
 // MountsFor returns the active mount entries (DUMP's view).
 func (s *Server) MountsFor() []nfsproto.MountEntry {
 	st := s.mountState()
+	st.mu.Lock()
 	out := make([]nfsproto.MountEntry, 0, len(st.mounts))
 	for _, e := range st.mounts {
 		out = append(out, e)
 	}
+	st.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Host != out[j].Host {
 			return out[i].Host < out[j].Host
@@ -66,7 +81,10 @@ func (s *Server) MountsFor() []nfsproto.MountEntry {
 // lookupExportPath walks an exported path through the filesystem.
 func (s *Server) lookupExportPath(path string) (*memfs.Inode, uint32) {
 	st := s.mountState()
-	if _, exported := st.exports[path]; !exported {
+	st.mu.Lock()
+	_, exported := st.exports[path]
+	st.mu.Unlock()
+	if !exported {
 		return nil, mntEACCES
 	}
 	n := s.FS.Root()
@@ -103,7 +121,9 @@ func (s *Server) dispatchMount(p *sim.Proc, proc uint32, peer string, d *xdr.Dec
 			(&nfsproto.MntRes{Status: status}).Encode(e)
 			return nil
 		}
+		st.mu.Lock()
 		st.mounts[peer+" "+args.DirPath] = nfsproto.MountEntry{Host: peer, Dir: args.DirPath}
+		st.mu.Unlock()
 		(&nfsproto.MntRes{Status: mntOK, File: s.FS.FH(n)}).Encode(e)
 		return nil
 	case nfsproto.MountProcDump:
@@ -114,20 +134,26 @@ func (s *Server) dispatchMount(p *sim.Proc, proc uint32, peer string, d *xdr.Dec
 		if err != nil {
 			return err
 		}
+		st.mu.Lock()
 		delete(st.mounts, peer+" "+args.DirPath)
+		st.mu.Unlock()
 		return nil
 	case nfsproto.MountProcUmntAll:
+		st.mu.Lock()
 		for k, ent := range st.mounts {
 			if ent.Host == peer {
 				delete(st.mounts, k)
 			}
 		}
+		st.mu.Unlock()
 		return nil
 	case nfsproto.MountProcExport:
 		var list []nfsproto.ExportEntry
+		st.mu.Lock()
 		for dir, groups := range st.exports {
 			list = append(list, nfsproto.ExportEntry{Dir: dir, Groups: groups})
 		}
+		st.mu.Unlock()
 		sort.Slice(list, func(i, j int) bool { return list[i].Dir < list[j].Dir })
 		nfsproto.EncodeExportList(e, list)
 		return nil

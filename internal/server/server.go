@@ -15,6 +15,7 @@
 package server
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -118,14 +119,27 @@ func (s *Stats) Total() int64 {
 }
 
 // Server is an NFS server instance.
+//
+// Concurrency: HandleCall is safe to call from many goroutines at once —
+// the real-socket frontends (internal/nfsnet) run a pool of nfsd workers
+// plus one goroutine per TCP connection, all dispatching into one Server.
+// The giant per-server lock of earlier revisions is gone; in its place the
+// caches shard their own locks (stripes below), memfs carries per-file RW
+// locks, and the lease/mount/gather side tables take small leaf mutexes.
+// Under the simulator none of this matters (the cooperative scheduler runs
+// one proc at a time) and the caches stay at one stripe so eviction order
+// is bit-for-bit the single-cache behaviour the golden runs pin down.
 type Server struct {
 	FS    *memfs.FS
 	Opts  Options
 	Node  *netsim.Node // nil outside the simulator
-	bufc  *vfs.BufCache
-	namec *vfs.NameCache
+	bufc  *vfs.StripedBufCache
+	namec *vfs.StripedNameCache
 	dupc  *dupCache
-	Stats Stats
+	// stripes is the cache lock-stripe count: 1 until a concurrent
+	// frontend calls EnableConcurrentDispatch (before serving traffic).
+	stripes int
+	Stats   Stats
 
 	// Metrics is the server's registry: per-procedure service-time
 	// histograms plus call/byte counters, safe to snapshot concurrently
@@ -144,7 +158,10 @@ type Server struct {
 	// runs over real sockets (no simulator process to ask for time).
 	epoch time.Time
 
-	// Lease extension state (lease.go).
+	// Lease extension state (lease.go). leaseMu covers leaseTab and
+	// noGrantsUntil; it is never held across a callback-socket send (which
+	// parks the sending proc under the simulator).
+	leaseMu  sync.Mutex
 	leaseTab map[nfsproto.FH]*leaseState
 	cbSock   *netsim.UDPSocket
 	// noGrantsUntil implements NQNFS crash recovery: after a reboot the
@@ -162,8 +179,10 @@ type Server struct {
 	conns map[*tcpsim.Conn]struct{}
 	// MOUNT protocol state (mountd.go).
 	mounts *mountState
-	// Write-gathering state: per-file end of the current metadata window.
-	gather map[nfsproto.FH]sim.Time
+	// Write-gathering state: per-file end of the current metadata window,
+	// under its own leaf mutex.
+	gatherMu sync.Mutex
+	gather   map[nfsproto.FH]sim.Time
 }
 
 // Crash simulates a server reboot: every piece of volatile state a real
@@ -172,15 +191,44 @@ type Server struct {
 // refused for one lease period (NQNFS-style recovery). The filesystem
 // itself (the disk) survives. Callers typically pair this with
 // SetDown(true) ... SetDown(false) around a virtual outage window.
+// Callers over real sockets must quiesce the dispatch pool first (the
+// nfsnet frontend's Crash does); under the simulator the single-threaded
+// scheduler makes that automatic.
 func (s *Server) Crash() {
-	s.bufc = vfs.NewBufCache(s.Opts.CacheBufs, s.Opts.ChainedBufs)
-	s.namec = vfs.NewNameCache()
-	s.namec.Enabled = s.Opts.NameCache
-	s.dupc = newDupCache(s.Opts.DupCacheSize)
+	s.resetCaches()
+	s.leaseMu.Lock()
 	s.leaseTab = nil
 	s.noGrantsUntil = s.now() + s.leaseDuration()
+	s.leaseMu.Unlock()
 	s.AbortTCPConns()
 	metrics.Emit(s.Tracer, metrics.ServerCrash{RecoverFor: time.Duration(s.leaseDuration())})
+}
+
+// resetCaches rebuilds the volatile caches at the current stripe count.
+func (s *Server) resetCaches() {
+	s.bufc = vfs.NewStripedBufCache(s.Opts.CacheBufs, s.Opts.ChainedBufs, s.stripes)
+	s.namec = vfs.NewStripedNameCache(s.stripes)
+	s.namec.SetEnabled(s.Opts.NameCache)
+	s.dupc = newDupCache(s.Opts.DupCacheSize)
+	s.dupc.instrument(
+		s.Metrics.Counter("server.dupc.shard_hits"),
+		s.Metrics.Counter("server.dupc.contended"),
+		s.Metrics.Counter("server.dupc.inflight_drops"),
+	)
+}
+
+// EnableConcurrentDispatch widens the cache lock striping for a pool of
+// concurrent frontends. It must be called before any traffic is served
+// (internal/nfsnet does, from Serve): the caches are rebuilt empty, which
+// is invisible at that point, and swapping them later would race with
+// in-flight calls.
+func (s *Server) EnableConcurrentDispatch() {
+	n := s.Opts.NFSDs * 2
+	if n < 4 {
+		n = 4
+	}
+	s.stripes = n
+	s.resetCaches()
 }
 
 // AbortTCPConns resets every live simulated TCP connection, as a reboot
@@ -214,13 +262,13 @@ func New(fs *memfs.FS, opts Options) *Server {
 	s := &Server{
 		FS:      fs,
 		Opts:    opts,
-		bufc:    vfs.NewBufCache(opts.CacheBufs, opts.ChainedBufs),
-		namec:   vfs.NewNameCache(),
-		dupc:    newDupCache(opts.DupCacheSize),
+		stripes: 1,
 		Metrics: metrics.NewRegistry(),
 		epoch:   time.Now(),
 	}
-	s.namec.Enabled = opts.NameCache
+	s.resetCaches()
+	// Eager so concurrent first calls never race the lazy allocation.
+	s.mounts = newMountState()
 	s.cCalls = s.Metrics.Counter("nfs.calls")
 	s.cBytesIn = s.Metrics.Counter("nfs.bytes_in")
 	s.cBytesOut = s.Metrics.Counter("nfs.bytes_out")
@@ -253,13 +301,13 @@ func (s *Server) AttachNode(n *netsim.Node) { s.Node = n }
 
 // SetNameCache toggles the server name cache at run time (the appendix
 // experiment).
-func (s *Server) SetNameCache(on bool) { s.namec.Enabled = on }
+func (s *Server) SetNameCache(on bool) { s.namec.SetEnabled(on) }
 
 // NameCacheStats exposes server name-cache behaviour.
-func (s *Server) NameCacheStats() vfs.NameCacheStats { return s.namec.Stats }
+func (s *Server) NameCacheStats() vfs.NameCacheStats { return s.namec.Stats() }
 
 // BufCacheStats exposes server buffer-cache behaviour.
-func (s *Server) BufCacheStats() vfs.CacheStats { return s.bufc.Stats }
+func (s *Server) BufCacheStats() vfs.CacheStats { return s.bufc.Stats() }
 
 // RootFH returns the exported root file handle.
 func (s *Server) RootFH() nfsproto.FH { return s.FS.FH(s.FS.Root()) }
@@ -369,10 +417,17 @@ func (s *Server) HandleCall(p *sim.Proc, peer string, req *mbuf.Chain) *mbuf.Cha
 	if s.Opts.XDRCopyLayer {
 		s.charge(p, "xdr_layer", costXDRCall+costXDRByte*float64(reqLen))
 	}
-	// Duplicate request cache for non-idempotent procedures.
+	// Duplicate request cache for non-idempotent procedures. begin claims
+	// the key before execution: a retransmission racing the original call
+	// on another nfsd is dropped (the client retransmits again and finds
+	// the committed reply) instead of executed a second time.
 	dkey := dupKey{peer: peer, xid: call.XID, proc: call.Proc}
 	if nonIdempotent[call.Proc] {
-		if cached := s.dupc.get(dkey); cached != nil {
+		cached, inflight := s.dupc.begin(dkey)
+		if inflight {
+			return nil
+		}
+		if cached != nil {
 			s.Stats.DupHits.Add(1)
 			s.cDupHits.Add(1)
 			metrics.Emit(s.Tracer, metrics.DupCacheHit{Proc: call.Proc})
@@ -399,13 +454,17 @@ func (s *Server) HandleCall(p *sim.Proc, peer string, req *mbuf.Chain) *mbuf.Cha
 	svc := s.svcNow(p) - begin
 	s.procSvc[call.Proc].ObserveDuration(svc)
 	if s.Tracer != nil { // guard: boxing the event allocates even when untraced
-		metrics.Emit(s.Tracer, metrics.ServerCall{Proc: call.Proc, Service: svc, Error: err != nil})
+		metrics.Emit(s.Tracer, metrics.ServerCall{
+			Proc: call.Proc, Peer: peer, XID: call.XID,
+			NonIdempotent: nonIdempotent[call.Proc],
+			Service:       svc, Error: err != nil,
+		})
 	}
 	if s.Opts.XDRCopyLayer {
 		s.charge(p, "xdr_layer", costXDRByte*float64(out.Len()))
 	}
 	if nonIdempotent[call.Proc] {
-		s.dupc.put(dkey, out.Clone())
+		s.dupc.commit(dkey, out.Clone())
 	}
 	s.Stats.BytesOut.Add(int64(out.Len()))
 	s.cBytesOut.Add(int64(out.Len()))
@@ -508,9 +567,16 @@ func (s *Server) setattr(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encode
 // charging CPU for the buffers examined and the disk for misses. This is
 // where the Reno/Ultrix lookup gap of Graphs 8-9 comes from.
 func (s *Server) scanDirectory(p *sim.Proc, dir *memfs.Inode) {
-	nblocks := memfs.NumDirBlocks(dir)
+	nblocks := s.FS.DirBlocks(dir)
 	for b := 0; b < nblocks; b++ {
 		key := vfs.BufKey{Vnode: dir.Ino, Gen: dir.Gen, Block: uint32(b)}
+		if p == nil {
+			// Concurrent frontends (no CPU/disk model): probe and reserve
+			// must be one critical section, or two nfsds scanning the same
+			// directory double-insert.
+			s.bufc.LookupOrReserve(key)
+			continue
+		}
 		buf, scanned := s.bufc.Lookup(key)
 		s.charge(p, "dirscan", costDirScanBuf*float64(scanned+1))
 		if buf == nil {
@@ -534,7 +600,7 @@ func (s *Server) lookup(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder
 		return nil
 	}
 	// Name cache first (when the personality has one).
-	if s.namec.Enabled {
+	if s.namec.Enabled() {
 		s.charge(p, "namecache", costNameCacheHit)
 		if vn, vgen, neg, found := s.namec.Lookup(dir.Ino, dir.Gen, args.Name); found {
 			if neg {
@@ -618,6 +684,12 @@ func (s *Server) read(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder) 
 	cached := true
 	for b := first; b <= last; b++ {
 		key := vfs.BufKey{Vnode: n.Ino, Gen: n.Gen, Block: b}
+		if p == nil {
+			if hit, _ := s.bufc.LookupOrReserve(key); !hit {
+				cached = false
+			}
+			continue
+		}
 		buf, scanned := s.bufc.Lookup(key)
 		s.charge(p, "dirscan", costDirScanBuf*float64(scanned+1))
 		if buf == nil {
@@ -676,15 +748,17 @@ func (s *Server) write(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder)
 		// Within the gather window, only the data block is synchronous;
 		// the metadata updates ride the window's single commit.
 		const gatherWindow = 100 * time.Millisecond
+		now := s.now()
+		s.gatherMu.Lock()
 		if s.gather == nil {
 			s.gather = make(map[nfsproto.FH]sim.Time)
 		}
-		now := s.now()
 		if now < s.gather[args.File] {
 			diskWrites = 1
 		} else {
 			s.gather[args.File] = now + gatherWindow
 		}
+		s.gatherMu.Unlock()
 	}
 	if err := s.FS.WriteAtChain(p, n, args.Offset, args.Data, diskWrites); err != nil {
 		(&nfsproto.AttrRes{Status: errStatus(err)}).Encode(e)
@@ -692,7 +766,9 @@ func (s *Server) write(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder)
 	}
 	// The written block is now cached.
 	key := vfs.BufKey{Vnode: n.Ino, Gen: n.Gen, Block: args.Offset / memfs.BlockSize}
-	if b := s.bufc.Peek(key); b == nil {
+	if p == nil {
+		s.bufc.EnsureResident(key)
+	} else if b := s.bufc.Peek(key); b == nil {
 		s.bufc.Insert(key)
 	}
 	attr := s.FS.Attr(n)

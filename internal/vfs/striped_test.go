@@ -1,0 +1,152 @@
+package vfs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// A single-stripe striped cache must behave bit-for-bit like the legacy
+// cache it wraps: same hits, misses, evictions, scan counts.
+func TestStripedBufCacheSingleStripeMatchesLegacy(t *testing.T) {
+	legacy := NewBufCache(4, true)
+	striped := NewStripedBufCache(4, true, 1)
+	keys := []BufKey{}
+	for vn := uint32(1); vn <= 3; vn++ {
+		for b := uint32(0); b < 3; b++ {
+			keys = append(keys, BufKey{Vnode: vn, Gen: 1, Block: b})
+		}
+	}
+	// Same access sequence through both: lookup-or-insert.
+	seq := []int{0, 1, 2, 0, 3, 4, 0, 5, 6, 7, 8, 0, 1, 2}
+	for _, i := range seq {
+		k := keys[i]
+		if b, _ := legacy.Lookup(k); b == nil {
+			legacy.Insert(k)
+		}
+		striped.LookupOrReserve(k)
+	}
+	ls, ss := legacy.Stats, striped.Stats()
+	if ls != ss {
+		t.Errorf("stats diverge: legacy %+v striped %+v", ls, ss)
+	}
+	if legacy.Len() != striped.Len() {
+		t.Errorf("len diverges: legacy %d striped %d", legacy.Len(), striped.Len())
+	}
+}
+
+// Linear-scan (Ultrix) caches must collapse to one stripe: the discipline
+// models a single global LRU scan.
+func TestStripedBufCacheLinearForcedSingleStripe(t *testing.T) {
+	c := NewStripedBufCache(64, false, 8)
+	if c.NumStripes() != 1 {
+		t.Fatalf("linear cache got %d stripes, want 1", c.NumStripes())
+	}
+	if c := NewStripedBufCache(64, true, 8); c.NumStripes() != 8 {
+		t.Fatalf("chained cache got %d stripes, want 8", c.NumStripes())
+	}
+}
+
+// Concurrent LookupOrReserve on overlapping keys must never double-insert
+// (the legacy pair panics) and must account every operation exactly once.
+func TestStripedBufCacheConcurrent(t *testing.T) {
+	c := NewStripedBufCache(256, true, 8)
+	const workers = 8
+	const opsPerWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint32) {
+			defer wg.Done()
+			for i := 0; i < opsPerWorker; i++ {
+				vn := (seed + uint32(i)) % 16
+				k := BufKey{Vnode: vn, Gen: 1, Block: uint32(i) % 8}
+				c.LookupOrReserve(k)
+				if i%7 == 0 {
+					c.EnsureResident(k)
+				}
+				if i%97 == 0 {
+					c.InvalidateVnode(vn, 1)
+				}
+			}
+		}(uint32(w))
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Hits+s.Misses != workers*opsPerWorker {
+		t.Errorf("hits %d + misses %d != %d ops", s.Hits, s.Misses, workers*opsPerWorker)
+	}
+}
+
+func TestStripedNameCacheSingleStripeMatchesLegacy(t *testing.T) {
+	legacy := NewNameCache()
+	legacy.Capacity = 3
+	striped := NewStripedNameCache(1)
+	striped.stripes[0].c.Capacity = 3
+	type op struct {
+		name string
+		neg  bool
+	}
+	ops := []op{{"a", false}, {"b", false}, {"c", true}, {"a", false}, {"d", false}, {"b", false}}
+	for i, o := range ops {
+		if o.neg {
+			legacy.EnterNegative(1, 1, o.name)
+			striped.EnterNegative(1, 1, o.name)
+		} else {
+			legacy.Enter(1, 1, o.name, uint32(i+10), 1)
+			striped.Enter(1, 1, o.name, uint32(i+10), 1)
+		}
+		lv, lg, ln, lf := legacy.Lookup(1, 1, o.name)
+		sv, sg, sn, sf := striped.Lookup(1, 1, o.name)
+		if lv != sv || lg != sg || ln != sn || lf != sf {
+			t.Fatalf("op %d: lookup diverges", i)
+		}
+	}
+	if legacy.Stats != striped.Stats() {
+		t.Errorf("stats diverge: legacy %+v striped %+v", legacy.Stats, striped.Stats())
+	}
+	if legacy.Len() != striped.Len() {
+		t.Errorf("len diverges: legacy %d striped %d", legacy.Len(), striped.Len())
+	}
+}
+
+func TestStripedNameCacheConcurrent(t *testing.T) {
+	c := NewStripedNameCache(8)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				name := fmt.Sprintf("f%d", (seed+i)%64)
+				dir := uint32((seed + i) % 4)
+				c.Enter(dir, 1, name, uint32(i), 1)
+				c.Lookup(dir, 1, name)
+				switch i % 31 {
+				case 0:
+					c.Remove(dir, 1, name)
+				case 1:
+					c.EnterNegative(dir, 1, name)
+				case 2:
+					c.PurgeDir(dir, 1)
+				case 3:
+					c.PurgeVnode(uint32(i), 1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Hits+s.Misses != workers*2000 {
+		t.Errorf("hits %d + misses %d != %d lookups", s.Hits, s.Misses, workers*2000)
+	}
+	// Toggling must land on every stripe.
+	c.SetEnabled(false)
+	if c.Enabled() {
+		t.Error("SetEnabled(false) did not stick")
+	}
+	if _, _, _, found := c.Lookup(0, 1, "f0"); found {
+		t.Error("disabled cache returned a hit")
+	}
+}
