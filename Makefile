@@ -38,20 +38,29 @@ bench:
 bench-smoke:
 	$(GO) test -run 'TestAllocBudget|TestReadReplyZeroCopy' -bench=. -benchmem -benchtime 1x .
 
-# Real-socket scaling curve: 1/2/4/8 concurrent clients against the
-# parallel nfsd worker pool, recorded in BENCH_scaling.json. Needs real
-# cores to show real parallelism.
+# Real-socket scaling curves: GOMAXPROCS 1/2/4/8 x 1/2/4/8 concurrent
+# clients against the parallel nfsd worker pool, with per-stage p99
+# breakdowns, recorded in BENCH_scaling.json. Needs real cores to show real
+# parallelism (the JSON carries num_cpu so a 1-core record is identifiable).
 scaling:
 	$(GO) run ./cmd/nfsbench -scaling
 
-# The CI gate form: fails if 4-client throughput < 1.5x 1-client.
+# The CI multicore gate: fails if 4-client throughput < 2.5x 1-client, and
+# (with RENONFS_SCALING_REQUIRE=1, as CI sets) fails rather than skips on a
+# runner with fewer than 4 cores. On regression the test prints the
+# per-stage p99 table naming the stage that stopped scaling.
 scaling-smoke:
 	RENONFS_SCALING=1 $(GO) test -run TestScalingSmoke -v ./internal/nfsnet
 
 # Profile a representative experiment run with pprof; start perf work here,
-# the way the paper's tuning started from kernel profiles.
+# the way the paper's tuning started from kernel profiles. Alongside the
+# CPU/allocation profiles this collects the runtime's mutex-contention and
+# blocking profiles from a real-socket load, the lock-serialization view.
 PROFILE_EXP ?= graph2
 profile:
 	$(GO) run ./cmd/nfsbench -exp $(PROFILE_EXP) -quick \
 		-cpuprofile cpu.pprof -memprofile mem.pprof
-	@echo "view with: go tool pprof cpu.pprof (or mem.pprof)"
+	$(GO) run ./cmd/nfsbench -clients 4 -dur 2s \
+		-mutexprofile mutex.pprof -blockprofile block.pprof -trace trace.json
+	@echo "view with: go tool pprof cpu.pprof (or mem.pprof, mutex.pprof, block.pprof)"
+	@echo "open trace.json at chrome://tracing"

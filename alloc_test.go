@@ -9,9 +9,11 @@ package renonfs_test
 
 import (
 	"testing"
+	"time"
 
 	"renonfs/internal/mbuf"
 	"renonfs/internal/memfs"
+	"renonfs/internal/metrics"
 	"renonfs/internal/nfsproto"
 	"renonfs/internal/rpc"
 	"renonfs/internal/server"
@@ -122,6 +124,80 @@ func TestAllocBudgetRead8K(t *testing.T) {
 	t.Logf("8 KB READ round trip: %.1f allocs/op (budget %d)", got, read8KAllocBudget)
 	if got > read8KAllocBudget {
 		t.Errorf("8 KB READ round trip allocates %.1f/op, budget is %d", got, read8KAllocBudget)
+	}
+}
+
+// TestAllocBudgetSpanRecording pins the stage-telemetry contract: running
+// the same hot RPCs through HandleCallSpan with a live span — stamps,
+// histogram recording, slow-ring offer and all — must allocate exactly what
+// the span-free path allocates. The span is a per-worker value reused across
+// calls (the nfsd pool's discipline); a fresh span per call would escape and
+// cost an allocation each.
+func TestAllocBudgetSpanRecording(t *testing.T) {
+	s, root, fh := warmServer(t)
+	stats := metrics.NewStageStats(s.Metrics, metrics.DefaultSlowSpans)
+	var sp metrics.Span
+	spannedLookup := func(xid uint32) {
+		sp.Reset(time.Now())
+		sp.Worker = 0
+		sp.Peer = "alloc-peer"
+		sp.Stamp(metrics.StageRead)
+		sp.Stamp(metrics.StageQueue)
+		req := &mbuf.Chain{}
+		rpc.EncodeCall(req, &rpc.Call{XID: xid, Prog: nfsproto.Program, Vers: nfsproto.Version, Proc: nfsproto.ProcLookup})
+		(&nfsproto.DiropArgs{Dir: root, Name: "data"}).Encode(xdr.NewEncoder(req))
+		rep := s.HandleCallSpan(nil, "alloc-peer", req, &sp)
+		if rep == nil {
+			t.Fatal("nil LOOKUP reply")
+		}
+		sp.Stamp(metrics.StageEncode)
+		sp.Stamp(metrics.StageSend)
+		stats.Record(&sp)
+		req.Free()
+		rep.Free()
+	}
+	spannedRead := func(xid uint32) {
+		sp.Reset(time.Now())
+		sp.Worker = 0
+		sp.Peer = "alloc-peer"
+		sp.Stamp(metrics.StageRead)
+		sp.Stamp(metrics.StageQueue)
+		req := &mbuf.Chain{}
+		rpc.EncodeCall(req, &rpc.Call{XID: xid, Prog: nfsproto.Program, Vers: nfsproto.Version, Proc: nfsproto.ProcRead})
+		(&nfsproto.ReadArgs{File: fh, Offset: 0, Count: 8192}).Encode(xdr.NewEncoder(req))
+		rep := s.HandleCallSpan(nil, "alloc-peer", req, &sp)
+		if rep == nil {
+			t.Fatal("nil READ reply")
+		}
+		sp.Stamp(metrics.StageEncode)
+		sp.Stamp(metrics.StageSend)
+		stats.Record(&sp)
+		req.Free()
+		rep.Free()
+	}
+	xid := uint32(0)
+	for i := 0; i < 32; i++ {
+		xid++
+		spannedLookup(xid)
+		spannedRead(xid)
+	}
+	baseLookup := testing.AllocsPerRun(200, func() { xid++; lookupOnce(t, s, root, xid) })
+	gotLookup := testing.AllocsPerRun(200, func() { xid++; spannedLookup(xid) })
+	t.Logf("LOOKUP: %.1f allocs/op without span, %.1f with (budget %d)", baseLookup, gotLookup, lookupAllocBudget)
+	if gotLookup > baseLookup {
+		t.Errorf("span recording added %.1f allocs/op to LOOKUP (%.1f -> %.1f)", gotLookup-baseLookup, baseLookup, gotLookup)
+	}
+	if gotLookup > lookupAllocBudget {
+		t.Errorf("spanned LOOKUP allocates %.1f/op, budget is %d", gotLookup, lookupAllocBudget)
+	}
+	baseRead := testing.AllocsPerRun(200, func() { xid++; readOnce(t, s, fh, xid) })
+	gotRead := testing.AllocsPerRun(200, func() { xid++; spannedRead(xid) })
+	t.Logf("8 KB READ: %.1f allocs/op without span, %.1f with (budget %d)", baseRead, gotRead, read8KAllocBudget)
+	if gotRead > baseRead {
+		t.Errorf("span recording added %.1f allocs/op to READ (%.1f -> %.1f)", gotRead-baseRead, baseRead, gotRead)
+	}
+	if gotRead > read8KAllocBudget {
+		t.Errorf("spanned 8 KB READ allocates %.1f/op, budget is %d", gotRead, read8KAllocBudget)
 	}
 }
 

@@ -8,6 +8,7 @@
 //	nfsbench -exp all               # everything, paper order
 //	nfsbench -exp table5 -quick     # scaled-down run
 //	nfsbench -exp graph1 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	nfsbench -clients 4 -mutexprofile mutex.pprof -blockprofile block.pprof
 //	nfsbench -clients 4             # real-socket load: 4 concurrent clients
 //	nfsbench -scaling               # 1/2/4/8-client curve -> BENCH_scaling.json
 //
@@ -20,8 +21,12 @@
 // -clients and -scaling leave the simulator entirely: they drive the
 // real-socket frontend (internal/nfsnet) with concurrent UDP clients to
 // measure how the parallel nfsd worker pool scales with offered
-// concurrency. -scaling sweeps 1/2/4/8 clients and records the curve in
-// BENCH_scaling.json (`make scaling` wraps this).
+// concurrency. -scaling sweeps GOMAXPROCS 1/2/4/8 × 1/2/4/8 clients and
+// records the curves — with per-stage p99 breakdowns — in
+// BENCH_scaling.json (`make scaling` wraps this). -trace FILE dumps the
+// slowest spans of the last point as Chrome trace JSON, and
+// -mutexprofile/-blockprofile enable the Go runtime's contention profilers
+// (the lock-serialization view `make profile` starts from).
 package main
 
 import (
@@ -48,15 +53,27 @@ func main() {
 		nfsds      = flag.Int("nfsds", 8, "size of the nfsd worker pool in the real-socket modes")
 		dur        = flag.Duration("dur", 2*time.Second, "per-point measurement duration in the real-socket modes")
 		scalingOut = flag.String("scaling-out", "BENCH_scaling.json", "where -scaling writes its JSON curve (empty: don't write)")
+		tracePath  = flag.String("trace", "", "write the slowest spans as Chrome trace JSON to this file (socket modes)")
+		mutexProf  = flag.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
+		blockProf  = flag.String("blockprofile", "", "write a blocking profile to this file on exit")
 	)
 	flag.Parse()
 
+	if *mutexProf != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeProfile("mutex", *mutexProf)
+	}
+	if *blockProf != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeProfile("block", *blockProf)
+	}
+
 	if *scaling {
-		runScaling(*nfsds, *dur, *scalingOut)
+		runScaling(*nfsds, *dur, *scalingOut, *tracePath)
 		return
 	}
 	if *clients > 0 {
-		runClients(*clients, *nfsds, *dur)
+		runClients(*clients, *nfsds, *dur, *tracePath)
 		return
 	}
 
@@ -106,6 +123,19 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "nfsbench: unknown experiment %q (try -list)\n", *exp)
 	os.Exit(1)
+}
+
+// writeProfile dumps a named runtime profile (mutex, block).
+func writeProfile(kind, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nfsbench: -%sprofile: %v\n", kind, err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(kind).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "nfsbench: -%sprofile: %v\n", kind, err)
+	}
 }
 
 // writeMemProfile dumps an up-to-date heap/allocation profile, if requested.

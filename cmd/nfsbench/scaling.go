@@ -3,8 +3,10 @@ package main
 // The -clients/-scaling modes: real-socket multiclient load against the
 // parallel nfsd pool (internal/nfsnet), as opposed to the simulated
 // experiments. One point measures N concurrent UDP clients hammering
-// READ(8K)+LOOKUP; the curve sweeps 1/2/4/8 clients and writes
-// BENCH_scaling.json, the record `make scaling` and CI compare against.
+// READ(8K)+LOOKUP; the curve sweeps GOMAXPROCS 1/2/4/8 × 1/2/4/8 clients
+// and writes BENCH_scaling.json — with the per-stage p99 breakdown for
+// every point, so a flat curve names the stage that refuses to scale —
+// the record `make scaling` and CI compare against.
 
 import (
 	"encoding/json"
@@ -16,53 +18,76 @@ import (
 	"time"
 
 	"renonfs/internal/memfs"
+	"renonfs/internal/metrics"
 	"renonfs/internal/nfsnet"
 	"renonfs/internal/nfsproto"
 	"renonfs/internal/server"
 )
 
-// scalingPoint is one row of the curve.
+// scalingPoint is one row of the curve: throughput plus where the p99
+// microsecond went at that concurrency.
 type scalingPoint struct {
 	Clients int     `json:"clients"`
 	OpsPerS float64 `json:"ops_per_s"`
-	Speedup float64 `json:"speedup"` // vs the 1-client point
+	Speedup float64 `json:"speedup"` // vs the 1-client point at the same GOMAXPROCS
+	// StageP99US breaks the tail down by pipeline stage (µs).
+	StageP99US map[string]float64 `json:"stage_p99_us"`
+	// LockWaitP99US is the p99 of per-request lock wait (µs; 0 when no
+	// request ever blocked on an instrumented lock).
+	LockWaitP99US float64 `json:"lockwait_p99_us"`
 }
 
-// scalingReport is the BENCH_scaling.json document.
+// scalingRun is the curve at one GOMAXPROCS setting.
+type scalingRun struct {
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Points     []scalingPoint `json:"points"`
+}
+
+// scalingReport is the BENCH_scaling.json document. NumCPU records the
+// machine the curve came from: on a single-core host every GOMAXPROCS
+// setting shares one core and the runs cannot diverge, which the consumer
+// (CI's multicore gate) must account for.
 type scalingReport struct {
-	NFSDs     int            `json:"nfsds"`
-	GOMAXPROC int            `json:"gomaxprocs"`
-	DurationS float64        `json:"duration_s"`
-	Points    []scalingPoint `json:"points"`
+	NFSDs     int          `json:"nfsds"`
+	NumCPU    int          `json:"num_cpu"`
+	DurationS float64      `json:"duration_s"`
+	Runs      []scalingRun `json:"runs"`
+}
+
+// pointResult carries one measured point plus its telemetry.
+type pointResult struct {
+	opsPerS  float64
+	stageP99 map[string]float64
+	lockP99  float64
+	spans    []metrics.Span
 }
 
 // measureClients runs one point: n concurrent UDP clients against a fresh
-// real-socket server, each looping READ(8K)+LOOKUP for dur. Returns
-// aggregate ops/s.
-func measureClients(n, nfsds int, dur time.Duration) (float64, error) {
+// real-socket server, each looping READ(8K)+LOOKUP for dur.
+func measureClients(n, nfsds int, dur time.Duration) (*pointResult, error) {
 	fs := memfs.New(1, nil, nil)
 	opts := server.Reno()
 	opts.NFSDs = nfsds
 	srv := server.New(fs, opts)
 	s, err := nfsnet.Serve(srv, "127.0.0.1:0", "127.0.0.1:0")
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	defer s.Close()
 	root := srv.RootFH()
 
 	setup, err := nfsnet.DialUDP(s.UDPAddr())
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	cr, err := setup.Create(root, "bench.dat", 0644)
 	if err != nil || cr.Status != nfsproto.OK {
 		setup.Close()
-		return 0, fmt.Errorf("create bench.dat: %v (res %+v)", err, cr)
+		return nil, fmt.Errorf("create bench.dat: %v (res %+v)", err, cr)
 	}
 	if _, err := setup.Write(cr.File, 0, make([]byte, nfsproto.MaxData)); err != nil {
 		setup.Close()
-		return 0, err
+		return nil, err
 	}
 	setup.Close()
 
@@ -96,47 +121,121 @@ func measureClients(n, nfsds int, dur time.Duration) (float64, error) {
 	wg.Wait()
 	select {
 	case err := <-errc:
-		return 0, err
+		return nil, err
 	default:
 	}
-	return float64(ops.Load()) / dur.Seconds(), nil
+	res := &pointResult{
+		opsPerS:  float64(ops.Load()) / dur.Seconds(),
+		stageP99: map[string]float64{},
+		spans:    s.Stages().Ring().Slowest(),
+	}
+	snap := srv.Metrics.Snapshot()
+	names := metrics.StageNames()
+	for _, st := range append(names[:], "total") {
+		if h, ok := snap.Histograms["rpc.stage."+st+".us"]; ok && h.Count > 0 {
+			res.stageP99[st] = h.Quantile(99)
+		}
+	}
+	if h, ok := snap.Histograms["rpc.stage.lockwait.us"]; ok && h.Count > 0 {
+		res.lockP99 = h.Quantile(99)
+	}
+	return res, nil
 }
 
-// runClients serves the -clients N mode: one point, printed.
-func runClients(n, nfsds int, dur time.Duration) {
-	tput, err := measureClients(n, nfsds, dur)
+// runClients serves the -clients N mode: one point, printed with its stage
+// breakdown; with tracePath the slowest spans dump as Chrome trace JSON.
+func runClients(n, nfsds int, dur time.Duration, tracePath string) {
+	res, err := measureClients(n, nfsds, dur)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nfsbench: -clients: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("%d client(s) x %v against %d nfsds: %.0f ops/s (READ 8K + LOOKUP)\n",
-		n, dur, nfsds, tput)
+		n, dur, nfsds, res.opsPerS)
+	printStageP99(res)
+	writeTrace(tracePath, res.spans)
 }
 
-// runScaling serves the -scaling mode: the 1/2/4/8-client curve, printed
-// and written to out as JSON.
-func runScaling(nfsds int, dur time.Duration, out string) {
-	fmt.Printf("== scaling: real-socket throughput vs concurrent clients (%d nfsds, GOMAXPROCS %d)\n\n",
-		nfsds, runtime.GOMAXPROCS(0))
-	rep := scalingReport{NFSDs: nfsds, GOMAXPROC: runtime.GOMAXPROCS(0), DurationS: dur.Seconds()}
-	var base float64
-	for _, n := range []int{1, 2, 4, 8} {
-		tput, err := measureClients(n, nfsds, dur)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "nfsbench: -scaling (%d clients): %v\n", n, err)
-			os.Exit(1)
+// printStageP99 renders one point's stage breakdown as a single line.
+func printStageP99(res *pointResult) {
+	fmt.Printf("  p99 by stage (µs):")
+	names := metrics.StageNames()
+	for _, st := range append(names[:], "total") {
+		if v, ok := res.stageP99[st]; ok {
+			fmt.Printf(" %s=%.0f", st, v)
 		}
-		if n == 1 {
-			base = tput
-		}
-		speedup := 0.0
-		if base > 0 {
-			speedup = tput / base
-		}
-		fmt.Printf("  %d clients: %8.0f ops/s  (%.2fx)\n", n, tput, speedup)
-		rep.Points = append(rep.Points, scalingPoint{Clients: n, OpsPerS: tput, Speedup: speedup})
+	}
+	if res.lockP99 > 0 {
+		fmt.Printf(" lockwait=%.0f", res.lockP99)
 	}
 	fmt.Println()
+}
+
+// writeTrace dumps spans as Chrome trace-event JSON (no-op for empty path).
+func writeTrace(path string, spans []metrics.Span) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nfsbench: -trace: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := metrics.WriteChromeTrace(f, spans, nfsproto.ProcName); err != nil {
+		fmt.Fprintf(os.Stderr, "nfsbench: -trace: %v\n", err)
+		return
+	}
+	fmt.Printf("wrote %s (%d spans; open at chrome://tracing)\n", path, len(spans))
+}
+
+// runScaling serves the -scaling mode: GOMAXPROCS 1/2/4/8 × 1/2/4/8
+// clients, printed and written to out as JSON. GOMAXPROCS settings beyond
+// the machine's cores still run (the OS just time-slices) so the record is
+// comparable across hosts, but the report carries NumCPU so consumers know
+// whether parallel speedup was physically possible.
+func runScaling(nfsds int, dur time.Duration, out, tracePath string) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	ncpu := runtime.NumCPU()
+	fmt.Printf("== scaling: real-socket throughput vs clients x GOMAXPROCS (%d nfsds, %d CPUs)\n\n",
+		nfsds, ncpu)
+	if ncpu < 4 {
+		fmt.Printf("  note: only %d CPU(s) — GOMAXPROCS settings above that share cores,\n", ncpu)
+		fmt.Printf("  so the curves below measure dispatch overhead, not parallel speedup\n\n")
+	}
+	rep := scalingReport{NFSDs: nfsds, NumCPU: ncpu, DurationS: dur.Seconds()}
+	var lastSpans []metrics.Span
+	for _, procs := range []int{1, 2, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		fmt.Printf("  GOMAXPROCS=%d\n", procs)
+		run := scalingRun{GOMAXPROCS: procs}
+		var base float64
+		for _, n := range []int{1, 2, 4, 8} {
+			res, err := measureClients(n, nfsds, dur)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nfsbench: -scaling (%d procs, %d clients): %v\n", procs, n, err)
+				os.Exit(1)
+			}
+			if n == 1 {
+				base = res.opsPerS
+			}
+			speedup := 0.0
+			if base > 0 {
+				speedup = res.opsPerS / base
+			}
+			fmt.Printf("    %d clients: %8.0f ops/s  (%.2fx)\n", n, res.opsPerS, speedup)
+			printStageP99(res)
+			run.Points = append(run.Points, scalingPoint{
+				Clients: n, OpsPerS: res.opsPerS, Speedup: speedup,
+				StageP99US: res.stageP99, LockWaitP99US: res.lockP99,
+			})
+			lastSpans = res.spans
+		}
+		rep.Runs = append(rep.Runs, run)
+		fmt.Println()
+	}
+	writeTrace(tracePath, lastSpans)
 	if out == "" {
 		return
 	}

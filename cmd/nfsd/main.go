@@ -20,8 +20,14 @@
 //
 //	GET /stats       JSON snapshot (the cmd/nfsstat wire format)
 //	GET /stats.txt   the same snapshot as aligned text
+//	GET /trace       the slowest-span ring as Chrome trace-event JSON
+//	                 (load at chrome://tracing or ui.perfetto.dev)
 //
-// On ^C the server prints a per-procedure summary table before exiting.
+// -tracedump FILE writes the same Chrome trace JSON to FILE at shutdown.
+//
+// On ^C the server prints a per-procedure summary table, the stage-level
+// "where the microsecond goes" breakdown, and the lock-contention sites
+// before exiting.
 package main
 
 import (
@@ -33,7 +39,9 @@ import (
 	"os/signal"
 	"strings"
 
+	"renonfs/internal/lockstat"
 	"renonfs/internal/memfs"
+	"renonfs/internal/metrics"
 	"renonfs/internal/nfsnet"
 	"renonfs/internal/nfsproto"
 	"renonfs/internal/server"
@@ -49,6 +57,7 @@ func main() {
 		nfsds     = flag.Int("nfsds", 8, "parallel nfsd worker goroutines (the UDP dispatch pool)")
 		exports   = flag.String("exports", "/,/etc,/home", "comma-separated export paths")
 		rdlook    = flag.Bool("readdirlook", true, "serve the readdir_and_lookup_files extension")
+		traceDump = flag.String("tracedump", "", "write the slowest-span Chrome trace JSON here at shutdown")
 	)
 	flag.Parse()
 
@@ -83,8 +92,8 @@ func main() {
 	fmt.Printf("nfsd (%s personality) serving\n  udp %s\n  tcp %s\n  exports %s\n  root fh %x (or MNT \"/\" via the MOUNT protocol)\n",
 		opts.Name, s.UDPAddr(), s.TCPAddr(), *exports, rootFH[:12])
 	if *statsAddr != "" {
-		go serveStats(*statsAddr, srv)
-		fmt.Printf("  stats http://%s/stats (poll with cmd/nfsstat)\n", *statsAddr)
+		go serveStats(*statsAddr, s)
+		fmt.Printf("  stats http://%s/stats (poll with cmd/nfsstat; /trace for a span dump)\n", *statsAddr)
 	}
 	fmt.Println("^C to stop")
 
@@ -92,25 +101,51 @@ func main() {
 	signal.Notify(ch, os.Interrupt)
 	<-ch
 	fmt.Println()
-	printFinal(srv)
+	printFinal(s)
+	if *traceDump != "" {
+		if err := writeTrace(*traceDump, s); err != nil {
+			fmt.Fprintf(os.Stderr, "nfsd: trace dump: %v\n", err)
+		} else {
+			fmt.Printf("slow-span trace written to %s (open at chrome://tracing)\n", *traceDump)
+		}
+	}
+}
+
+// writeTrace dumps the slowest-span ring as Chrome trace JSON.
+func writeTrace(path string, s *nfsnet.Server) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return metrics.WriteChromeTrace(f, s.Stages().Ring().Slowest(), nfsproto.ProcName)
 }
 
 // serveStats exposes the registry over HTTP. Snapshots read atomics only,
 // so serving concurrently with request handling needs no locking; the mbuf
-// pool/copy counters are mirrored into the registry on each request so
-// nfsstat sees the live copy-avoidance numbers.
-func serveStats(addr string, srv *server.Server) {
+// pool/copy counters, the lazily published nfsd-pool gauge and the lockstat
+// site counters are refreshed on each request so nfsstat sees live numbers.
+func serveStats(addr string, s *nfsnet.Server) {
+	srv := s.Core()
 	reg := srv.Metrics
+	refresh := func() {
+		srv.PublishMbufStats()
+		s.PublishStats()
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		srv.PublishMbufStats()
+		refresh()
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(reg.Snapshot())
 	})
 	mux.HandleFunc("/stats.txt", func(w http.ResponseWriter, r *http.Request) {
-		srv.PublishMbufStats()
+		refresh()
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		reg.Snapshot().WriteText(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		metrics.WriteChromeTrace(w, s.Stages().Ring().Slowest(), nfsproto.ProcName)
 	})
 	if err := http.ListenAndServe(addr, mux); err != nil {
 		fmt.Fprintf(os.Stderr, "nfsd: stats endpoint: %v\n", err)
@@ -118,9 +153,12 @@ func serveStats(addr string, srv *server.Server) {
 }
 
 // printFinal renders the shutdown summary: one row per procedure that was
-// called, with its service-time distribution, then the totals.
-func printFinal(srv *server.Server) {
+// called, with its service-time distribution, the stage-level latency
+// breakdown, the lock-contention sites and the totals.
+func printFinal(s *nfsnet.Server) {
+	srv := s.Core()
 	srv.PublishMbufStats()
+	s.PublishStats()
 	snap := srv.Metrics.Snapshot()
 	tb := stats.NewTable("per-procedure totals",
 		"proc", "calls", "svc mean ms", "p50", "p99", "max")
@@ -143,4 +181,46 @@ func printFinal(srv *server.Server) {
 	fmt.Printf("mbuf: %d bytes copied, %d bytes loaned, pool %d hits / %d misses\n",
 		snap.Counters["mbuf.copied_bytes"], snap.Counters["mbuf.loaned_bytes"],
 		snap.Counters["mbuf.pool_hits"], snap.Counters["mbuf.pool_misses"])
+	printStages(snap)
+	printLocks()
+}
+
+// printStages renders the per-stage pipeline latency table from the
+// rpc.stage.* histograms.
+func printStages(snap *metrics.Snapshot) {
+	tb := stats.NewTable("where the microsecond goes (per-stage, µs)",
+		"stage", "count", "p50", "p95", "p99", "max")
+	names := metrics.StageNames()
+	rows := append(names[:], "lockwait", "total")
+	shown := false
+	for _, st := range rows {
+		h, ok := snap.Histograms["rpc.stage."+st+".us"]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		shown = true
+		tb.AddRow(st, h.Count,
+			fmt.Sprintf("%.1f", h.Quantile(50)),
+			fmt.Sprintf("%.1f", h.Quantile(95)),
+			fmt.Sprintf("%.1f", h.Quantile(99)),
+			fmt.Sprintf("%.1f", h.Max))
+	}
+	if shown {
+		fmt.Print(tb.String())
+	}
+}
+
+// printLocks renders the lockstat sites that saw contention.
+func printLocks() {
+	shown := false
+	for _, st := range lockstat.Stats() {
+		if st.Contended == 0 {
+			continue
+		}
+		if !shown {
+			fmt.Println("lock contention (waits/total wait):")
+			shown = true
+		}
+		fmt.Printf("  %-20s %8d waits  %10.3f ms\n", st.Name, st.Contended, float64(st.WaitNS)/1e6)
+	}
 }

@@ -12,8 +12,12 @@
 //	nfsstat -json                    dump the raw JSON snapshot
 //
 // Besides the per-procedure table it renders the parallel-dispatch view:
-// the nfsd worker pool (rpc.nfsd.busy, per-worker calls and busy time)
-// and the sharded duplicate-request-cache counters (server.dupc.*).
+// the nfsd worker pool (rpc.nfsd.busy, per-worker calls and busy time),
+// the sharded duplicate-request-cache counters (server.dupc.*), the
+// stage-level "where the microsecond goes" pipeline breakdown
+// (rpc.stage.<name>.us percentiles — with -z these delta per interval,
+// so a latency regression shows up in the stage where it happens), and
+// any lock sites that saw contention (lock.<site>.*).
 //
 // The endpoint address must match nfsd's -stats flag.
 package main
@@ -123,8 +127,67 @@ func render(snap *metrics.Snapshot, delta bool) {
 		snap.Counters["nfs.calls"], snap.Counters["nfs.errors"],
 		snap.Counters["nfs.dup_hits"], snap.Counters["nfs.bytes_in"],
 		snap.Counters["nfs.bytes_out"])
+	renderStages(snap, delta)
 	renderWorkers(snap)
+	renderLocks(snap)
 	fmt.Println()
+}
+
+// stageOrder is the pipeline in wire order (matching metrics.StageNames),
+// then the cross-stage aggregates.
+var stageOrder = []string{"read", "queue", "decode", "dupcheck", "service", "encode", "send", "lockwait", "total"}
+
+// renderStages prints the per-stage latency table: where inside the server
+// each request's microseconds went. Under -z the histograms are interval
+// deltas, so the percentiles describe just the last polling window.
+func renderStages(snap *metrics.Snapshot, delta bool) {
+	title := "where the microsecond goes (per-stage, µs, cumulative)"
+	if delta {
+		title = "where the microsecond goes (per-stage, µs, interval delta)"
+	}
+	tb := stats.NewTable(title, "stage", "count", "p50", "p95", "p99", "max")
+	shown := false
+	for _, st := range stageOrder {
+		h, ok := snap.Histograms["rpc.stage."+st+".us"]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		shown = true
+		tb.AddRow(st, h.Count,
+			fmt.Sprintf("%.1f", h.Quantile(50)),
+			fmt.Sprintf("%.1f", h.Quantile(95)),
+			fmt.Sprintf("%.1f", h.Quantile(99)),
+			fmt.Sprintf("%.1f", h.Max))
+	}
+	if shown {
+		fmt.Print(tb.String())
+	}
+}
+
+// renderLocks prints the lock.<site>.* contention counters, busiest first.
+func renderLocks(snap *metrics.Snapshot) {
+	type row struct {
+		name   string
+		waits  int64
+		waitUS int64
+	}
+	rows := []row{}
+	for name, v := range snap.Counters {
+		if site, ok := strings.CutPrefix(name, "lock."); ok {
+			if site, ok := strings.CutSuffix(site, ".contended"); ok && v > 0 {
+				rows = append(rows, row{site, v, snap.Counters["lock." + site + ".wait_us"]})
+			}
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].waitUS > rows[j].waitUS })
+	tb := stats.NewTable("lock contention", "site", "waits", "wait ms")
+	for _, r := range rows {
+		tb.AddRow(r.name, r.waits, fmt.Sprintf("%.3f", float64(r.waitUS)/1000))
+	}
+	fmt.Print(tb.String())
 }
 
 // renderWorkers prints the parallel-dispatch view: the nfsd pool's busy

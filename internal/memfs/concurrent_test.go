@@ -42,7 +42,7 @@ func TestConcurrentReadWriteNamespace(t *testing.T) {
 				default:
 				}
 				c := &mbuf.Chain{}
-				got, err := fs.ReadLoan(nil, f, 0, BlockSize, true, c)
+				got, err := fs.ReadLoan(nil, f, 0, BlockSize, true, c, nil)
 				if err != nil {
 					t.Errorf("ReadLoan: %v", err)
 					c.Free()

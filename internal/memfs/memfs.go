@@ -28,11 +28,22 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"renonfs/internal/lockstat"
 	"renonfs/internal/mbuf"
+	"renonfs/internal/metrics"
 	"renonfs/internal/nfsproto"
 	"renonfs/internal/sim"
 	"renonfs/internal/vfs"
 )
+
+// Contention sites for the two memfs lock populations (process-global, like
+// mbuf.Stats): the namespace RW lock and the per-inode data/meta locks —
+// both named suspects in the multicore scaling hunt.
+var (
+	treeSite  = lockstat.NewSite("memfs.tree")
+	inodeSite = lockstat.NewSite("memfs.inode")
+)
+
 
 // BlockSize is the filesystem block size (matches the NFS transfer size).
 const BlockSize = vfs.BlockSize
@@ -212,7 +223,7 @@ func (fs *FS) Root() *Inode { return fs.root }
 
 // Get resolves an inode number, checking the generation for staleness.
 func (fs *FS) Get(ino, gen uint32) (*Inode, error) {
-	fs.mu.RLock()
+	treeSite.RLock(&fs.mu, nil)
 	n := fs.inodes[ino]
 	fs.mu.RUnlock()
 	if n == nil || n.Gen != gen {
@@ -223,9 +234,9 @@ func (fs *FS) Get(ino, gen uint32) (*Inode, error) {
 
 // Attr fills NFS attributes for the inode.
 func (fs *FS) Attr(n *Inode) nfsproto.Fattr {
-	fs.mu.RLock() // Nlink changes under the namespace lock
-	n.mu.RLock()
-	n.metaMu.Lock()
+	treeSite.RLock(&fs.mu, nil) // Nlink changes under the namespace lock
+	inodeSite.RLock(&n.mu, nil)
+	inodeSite.Lock(&n.metaMu, nil)
 	a := nfsproto.Fattr{
 		Type: n.Type, Mode: n.Mode, Nlink: n.Nlink, UID: n.UID, GID: n.GID,
 		Size: n.Size, BlockSize: BlockSize,
@@ -275,7 +286,7 @@ func (fs *FS) Lookup(dir *Inode, name string) (*Inode, error) {
 	if len(name) > nfsproto.MaxNameLen {
 		return nil, ErrNameLen
 	}
-	fs.mu.RLock()
+	treeSite.RLock(&fs.mu, nil)
 	defer fs.mu.RUnlock()
 	i := findEntry(dir, name)
 	if i < 0 {
@@ -292,7 +303,7 @@ func (fs *FS) Lookup(dir *Inode, name string) (*Inode, error) {
 // is left to the server; the root's parent is itself). The copy keeps the
 // caller's iteration stable while other nfsds insert or remove entries.
 func (fs *FS) DirEntries(dir *Inode) []DirEnt {
-	fs.mu.RLock()
+	treeSite.RLock(&fs.mu, nil)
 	out := append([]DirEnt(nil), dir.dir...)
 	fs.mu.RUnlock()
 	return out
@@ -311,7 +322,7 @@ func NumDirBlocks(dir *Inode) int {
 
 // DirBlocks is NumDirBlocks under the namespace lock.
 func (fs *FS) DirBlocks(dir *Inode) int {
-	fs.mu.RLock()
+	treeSite.RLock(&fs.mu, nil)
 	n := NumDirBlocks(dir)
 	fs.mu.RUnlock()
 	return n
@@ -319,7 +330,7 @@ func (fs *FS) DirBlocks(dir *Inode) int {
 
 func (fs *FS) touch(n *Inode, mtime bool) {
 	now := fs.clock()
-	n.metaMu.Lock()
+	inodeSite.Lock(&n.metaMu, nil)
 	n.Atime = now
 	if mtime {
 		n.Mtime = now
@@ -345,7 +356,7 @@ func (fs *FS) Create(p *sim.Proc, dir *Inode, name string, mode uint32) (*Inode,
 	if len(name) > nfsproto.MaxNameLen {
 		return nil, ErrNameLen
 	}
-	fs.mu.Lock()
+	treeSite.WLock(&fs.mu, nil)
 	if findEntry(dir, name) >= 0 {
 		fs.mu.Unlock()
 		return nil, ErrExist
@@ -367,7 +378,7 @@ func (fs *FS) Mkdir(p *sim.Proc, dir *Inode, name string, mode uint32) (*Inode, 
 	if len(name) > nfsproto.MaxNameLen {
 		return nil, ErrNameLen
 	}
-	fs.mu.Lock()
+	treeSite.WLock(&fs.mu, nil)
 	if findEntry(dir, name) >= 0 {
 		fs.mu.Unlock()
 		return nil, ErrExist
@@ -388,7 +399,7 @@ func (fs *FS) Symlink(p *sim.Proc, dir *Inode, name, target string, mode uint32)
 	if dir.Type != nfsproto.TypeDir {
 		return nil, ErrNotDir
 	}
-	fs.mu.Lock()
+	treeSite.WLock(&fs.mu, nil)
 	if findEntry(dir, name) >= 0 {
 		fs.mu.Unlock()
 		return nil, ErrExist
@@ -414,7 +425,7 @@ func (fs *FS) Readlink(n *Inode) (string, error) {
 
 // Remove unlinks a file or symlink.
 func (fs *FS) Remove(p *sim.Proc, dir *Inode, name string) error {
-	fs.mu.Lock()
+	treeSite.WLock(&fs.mu, nil)
 	i := findEntry(dir, name)
 	if i < 0 {
 		fs.mu.Unlock()
@@ -441,7 +452,7 @@ func (fs *FS) Remove(p *sim.Proc, dir *Inode, name string) error {
 
 // Rmdir removes an empty directory.
 func (fs *FS) Rmdir(p *sim.Proc, dir *Inode, name string) error {
-	fs.mu.Lock()
+	treeSite.WLock(&fs.mu, nil)
 	i := findEntry(dir, name)
 	if i < 0 {
 		fs.mu.Unlock()
@@ -469,7 +480,7 @@ func (fs *FS) Rmdir(p *sim.Proc, dir *Inode, name string) error {
 // freeInode runs under fs.mu (write). The inode lock orders the Size read
 // against a writer still streaming into the now-unlinked file.
 func (fs *FS) freeInode(n *Inode) {
-	n.mu.RLock()
+	inodeSite.RLock(&n.mu, nil)
 	size := n.Size
 	n.mu.RUnlock()
 	fs.usedBlocks.Add(-int64((size + BlockSize - 1) / BlockSize))
@@ -479,7 +490,7 @@ func (fs *FS) freeInode(n *Inode) {
 // Rename moves an entry. Directories may be renamed only within the same
 // parent (sufficient for the benchmarks).
 func (fs *FS) Rename(p *sim.Proc, from *Inode, fromName string, to *Inode, toName string) error {
-	fs.mu.Lock()
+	treeSite.WLock(&fs.mu, nil)
 	i := findEntry(from, fromName)
 	if i < 0 {
 		fs.mu.Unlock()
@@ -528,7 +539,7 @@ func (fs *FS) Link(p *sim.Proc, n *Inode, dir *Inode, name string) error {
 	if n.Type == nfsproto.TypeDir {
 		return ErrIsDir
 	}
-	fs.mu.Lock()
+	treeSite.WLock(&fs.mu, nil)
 	if findEntry(dir, name) >= 0 {
 		fs.mu.Unlock()
 		return ErrExist
@@ -544,7 +555,7 @@ func (fs *FS) Link(p *sim.Proc, n *Inode, dir *Inode, name string) error {
 
 // Setattr applies settable attributes; NoValue fields are skipped.
 func (fs *FS) Setattr(p *sim.Proc, n *Inode, s nfsproto.Sattr) {
-	n.mu.Lock()
+	inodeSite.WLock(&n.mu, nil)
 	if s.Mode != nfsproto.NoValue {
 		n.Mode = s.Mode
 	}
@@ -558,7 +569,7 @@ func (fs *FS) Setattr(p *sim.Proc, n *Inode, s nfsproto.Sattr) {
 		fs.truncate(n, s.Size)
 	}
 	now := fs.clock() // the clock is park-free (atomic counter or sim time)
-	n.metaMu.Lock()
+	inodeSite.Lock(&n.metaMu, nil)
 	if s.Atime.Sec != nfsproto.NoValue {
 		n.Atime = s.Atime
 	}
@@ -593,7 +604,7 @@ func (fs *FS) truncate(n *Inode, size uint32) {
 	fs.usedBlocks.Add(int64(newBlocks) - int64(oldBlocks))
 	n.Size = size
 	mtime := fs.clock()
-	n.metaMu.Lock()
+	inodeSite.Lock(&n.metaMu, nil)
 	n.Mtime = mtime
 	n.metaMu.Unlock()
 }
@@ -606,7 +617,7 @@ func (fs *FS) ReadAt(p *sim.Proc, n *Inode, off uint32, dst []byte, cached bool)
 	if n.Type == nfsproto.TypeDir {
 		return 0, ErrIsDir
 	}
-	n.mu.RLock()
+	inodeSite.RLock(&n.mu, nil)
 	size := n.Size
 	n.mu.RUnlock()
 	if off >= size {
@@ -619,7 +630,7 @@ func (fs *FS) ReadAt(p *sim.Proc, n *Inode, off uint32, dst []byte, cached bool)
 	if !cached {
 		fs.Disk.Read(p, int(want)) // parks under the simulator; no lock held
 	}
-	n.mu.RLock()
+	inodeSite.RLock(&n.mu, nil)
 	got := uint32(0)
 	for got < want {
 		b := (off + got) / BlockSize
@@ -654,11 +665,11 @@ var zeroBlock [BlockSize]byte
 // (writableBlock); holes reference the shared zero page. Returns the number
 // of bytes appended; short reads happen at EOF. cached=false charges a disk
 // read, as in ReadAt.
-func (fs *FS) ReadLoan(p *sim.Proc, n *Inode, off, count uint32, cached bool, c *mbuf.Chain) (int, error) {
+func (fs *FS) ReadLoan(p *sim.Proc, n *Inode, off, count uint32, cached bool, c *mbuf.Chain, sp *metrics.Span) (int, error) {
 	if n.Type == nfsproto.TypeDir {
 		return 0, ErrIsDir
 	}
-	n.mu.RLock()
+	inodeSite.RLock(&n.mu, sp)
 	size := n.Size
 	n.mu.RUnlock()
 	if off >= size {
@@ -671,7 +682,7 @@ func (fs *FS) ReadLoan(p *sim.Proc, n *Inode, off, count uint32, cached bool, c 
 	if !cached {
 		fs.Disk.Read(p, int(want)) // parks under the simulator; no lock held
 	}
-	n.mu.RLock()
+	inodeSite.RLock(&n.mu, sp)
 	got := uint32(0)
 	for got < want {
 		b := (off + got) / BlockSize
@@ -690,7 +701,7 @@ func (fs *FS) ReadLoan(p *sim.Proc, n *Inode, off, count uint32, cached bool, c 
 			// Loan marks are written under the read lock (parallel READs of
 			// one file), so they need the leaf mutex; writableBlock reads
 			// them under the write lock, which the RWMutex orders after us.
-			n.metaMu.Lock()
+			inodeSite.Lock(&n.metaMu, sp)
 			if n.loaned == nil {
 				n.loaned = make(map[uint32]bool)
 			}
@@ -738,7 +749,7 @@ func (fs *FS) WriteAt(p *sim.Proc, n *Inode, off uint32, src []byte, diskWrites 
 	if int(off)+len(src) > int(fs.TotalBlocks)*BlockSize {
 		return ErrNoSpc
 	}
-	n.mu.Lock()
+	inodeSite.WLock(&n.mu, nil)
 	done := uint32(0)
 	for done < uint32(len(src)) {
 		b := (off + done) / BlockSize
@@ -764,7 +775,7 @@ func (fs *FS) WriteAt(p *sim.Proc, n *Inode, off uint32, src []byte, diskWrites 
 // payload flows segment by segment from the request chain (a zero-copy view
 // of the wire data) straight into file blocks — the buffer-cache side of the
 // paper's copy-avoidance path. Disk-charge semantics match WriteAt.
-func (fs *FS) WriteAtChain(p *sim.Proc, n *Inode, off uint32, src *mbuf.Chain, diskWrites int) error {
+func (fs *FS) WriteAtChain(p *sim.Proc, n *Inode, off uint32, src *mbuf.Chain, diskWrites int, sp *metrics.Span) error {
 	if n.Type == nfsproto.TypeDir {
 		return ErrIsDir
 	}
@@ -772,7 +783,7 @@ func (fs *FS) WriteAtChain(p *sim.Proc, n *Inode, off uint32, src *mbuf.Chain, d
 	if int(off)+total > int(fs.TotalBlocks)*BlockSize {
 		return ErrNoSpc
 	}
-	n.mu.Lock()
+	inodeSite.WLock(&n.mu, sp)
 	pos := off
 	src.ForEach(func(seg []byte) {
 		for len(seg) > 0 {
@@ -824,7 +835,7 @@ func (fs *FS) Statfs() nfsproto.StatfsRes {
 
 // NumInodes returns the live inode count.
 func (fs *FS) NumInodes() int {
-	fs.mu.RLock()
+	treeSite.RLock(&fs.mu, nil)
 	n := len(fs.inodes)
 	fs.mu.RUnlock()
 	return n

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// casSum is the histogram sum update this package used before the
+// fixed-point change: float64 bits in a CAS retry loop. Kept here as a
+// measurable baseline so the before/after of the serialization fix stays
+// reproducible (see EXPERIMENTS.md) — under writer concurrency every
+// failed CAS re-reads a contended cache line and retries.
+type casSum struct {
+	bits atomic.Uint64
+}
+
+func (s *casSum) add(v float64) {
+	for {
+		old := s.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if s.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.RunParallel(func(pb *testing.PB) {
+		v := 0.125
+		for pb.Next() {
+			h.Observe(v)
+		}
+	})
+}
+
+func BenchmarkSumFixedPoint(b *testing.B) {
+	var sum atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			sum.Add(125) // 0.125 in 1/1000 units
+		}
+	})
+}
+
+func BenchmarkSumCASLoop(b *testing.B) {
+	var sum casSum
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			sum.add(0.125)
+		}
+	})
+}
+
+func BenchmarkStageStatsRecord(b *testing.B) {
+	reg := NewRegistry()
+	ss := NewStageStats(reg, DefaultSlowSpans)
+	b.RunParallel(func(pb *testing.PB) {
+		var sp Span
+		for pb.Next() {
+			sp.Reset(time.Now())
+			sp.Stamp(StageRead)
+			sp.Stamp(StageQueue)
+			sp.Stamp(StageDecode)
+			sp.Stamp(StageService)
+			sp.Stamp(StageEncode)
+			sp.Stamp(StageSend)
+			ss.Record(&sp)
+		}
+	})
+}

@@ -37,9 +37,16 @@ func histBounds() []float64 {
 type Histogram struct {
 	buckets [histBuckets]atomic.Int64
 	count   atomic.Int64
-	sumBits atomic.Uint64 // float64 bits, CAS-updated
-	minBits atomic.Uint64
-	maxBits atomic.Uint64
+	// sumMilli holds the running sum in 1/1000ths of the recorded unit.
+	// A fixed-point integer makes the hot-path update a single wait-free
+	// atomic add; the old float64-bits CAS loop was a measurable
+	// serialization point once many nfsds observe one histogram (every
+	// retry re-reads a contended cache line). At 1e-3 resolution a
+	// millisecond-unit histogram sums exactly to the microsecond and
+	// overflows after ~292k years of accumulated latency.
+	sumMilli atomic.Int64
+	minBits  atomic.Uint64
+	maxBits  atomic.Uint64
 }
 
 // NewHistogram returns an empty histogram.
@@ -66,7 +73,7 @@ func bucketOf(v float64) int {
 func (h *Histogram) Observe(v float64) {
 	h.buckets[bucketOf(v)].Add(1)
 	h.count.Add(1)
-	addFloat(&h.sumBits, v)
+	h.sumMilli.Add(int64(v*1000 + 0.5))
 	casMin(&h.minBits, v)
 	casMax(&h.maxBits, v)
 }
@@ -83,7 +90,7 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
 		Count:   h.count.Load(),
-		Sum:     math.Float64frombits(h.sumBits.Load()),
+		Sum:     float64(h.sumMilli.Load()) / 1000,
 		Min:     math.Float64frombits(h.minBits.Load()),
 		Max:     math.Float64frombits(h.maxBits.Load()),
 		Buckets: make([]int64, histBuckets),
@@ -213,17 +220,6 @@ func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
 		}
 	}
 	return d
-}
-
-// addFloat atomically adds v to the float64 stored in bits.
-func addFloat(bits *atomic.Uint64, v float64) {
-	for {
-		old := bits.Load()
-		next := math.Float64bits(math.Float64frombits(old) + v)
-		if bits.CompareAndSwap(old, next) {
-			return
-		}
-	}
 }
 
 func casMin(bits *atomic.Uint64, v float64) {

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing atomic counter.
@@ -58,6 +59,24 @@ type Registry struct {
 	counts map[string]*Counter
 	gauges map[string]*Gauge
 	hists  map[string]*Histogram
+	// Registry-lock contention telemetry (the registry is a named suspect
+	// in the multicore scaling hunt): lock waits show up in snapshots as
+	// the synthetic counters metrics.registry.contended / .wait_us. The
+	// hot path never takes mu — metric handles are interned — so nonzero
+	// numbers here mean somebody looks metrics up per call.
+	lockContended atomic.Int64
+	lockWaitNS    atomic.Int64
+}
+
+// lock takes mu, recording wait time when it has to block.
+func (r *Registry) lock() {
+	if r.mu.TryLock() {
+		return
+	}
+	t0 := time.Now()
+	r.mu.Lock()
+	r.lockContended.Add(1)
+	r.lockWaitNS.Add(int64(time.Since(t0)))
 }
 
 // NewRegistry returns an empty registry.
@@ -71,7 +90,7 @@ func NewRegistry() *Registry {
 
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
-	r.mu.Lock()
+	r.lock()
 	defer r.mu.Unlock()
 	c := r.counts[name]
 	if c == nil {
@@ -83,7 +102,7 @@ func (r *Registry) Counter(name string) *Counter {
 
 // Gauge returns the named gauge, creating it on first use.
 func (r *Registry) Gauge(name string) *Gauge {
-	r.mu.Lock()
+	r.lock()
 	defer r.mu.Unlock()
 	g := r.gauges[name]
 	if g == nil {
@@ -96,7 +115,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 // Histogram returns the named histogram, creating it on first use with
 // the default latency bucket layout.
 func (r *Registry) Histogram(name string) *Histogram {
-	r.mu.Lock()
+	r.lock()
 	defer r.mu.Unlock()
 	h := r.hists[name]
 	if h == nil {
@@ -110,7 +129,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 // race individual updates but each value read is itself atomic, which is
 // the same guarantee nfsstat had reading live kernel counters.
 func (r *Registry) Snapshot() *Snapshot {
-	r.mu.Lock()
+	r.lock()
 	defer r.mu.Unlock()
 	s := &Snapshot{
 		Counters:   make(map[string]int64, len(r.counts)),
@@ -125,6 +144,10 @@ func (r *Registry) Snapshot() *Snapshot {
 	}
 	for name, h := range r.hists {
 		s.Histograms[name] = h.Snapshot()
+	}
+	if n := r.lockContended.Load(); n > 0 {
+		s.Counters["metrics.registry.contended"] = n
+		s.Counters["metrics.registry.wait_us"] = r.lockWaitNS.Load() / 1000
 	}
 	return s
 }

@@ -1,0 +1,184 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// mkSpan builds a deterministic span: begin at base+seq ms, each stage
+// ending a fixed offset after the previous one.
+func mkSpan(base time.Time, seq int, stageUS [NumStages]int64) Span {
+	sp := Span{
+		XID:    uint32(100 + seq),
+		Proc:   uint32(seq % 4),
+		Worker: int32(seq % 2),
+		Peer:   "udp:127.0.0.1:1234",
+		Begin:  base.Add(time.Duration(seq) * time.Millisecond),
+	}
+	var off int64
+	for st := Stage(0); st < NumStages; st++ {
+		if stageUS[st] == 0 {
+			continue
+		}
+		off += stageUS[st] * int64(time.Microsecond)
+		sp.SetStageEnd(st, off)
+	}
+	return sp
+}
+
+func TestSpanStageAccounting(t *testing.T) {
+	var sp Span
+	sp.Reset(time.Now())
+	if sp.Worker != -1 {
+		t.Errorf("Reset worker = %d, want -1", sp.Worker)
+	}
+	sp.SetStageEnd(StageRead, 1000)
+	sp.SetStageEnd(StageQueue, 3000)
+	// Decode skipped (never stamped); dupcheck measured from queue.
+	sp.SetStageEnd(StageDupcheck, 7000)
+	if got := sp.StageNS(StageRead); got != 1000 {
+		t.Errorf("read stage = %d ns, want 1000", got)
+	}
+	if got := sp.StageNS(StageQueue); got != 2000 {
+		t.Errorf("queue stage = %d ns, want 2000", got)
+	}
+	if got := sp.StageNS(StageDecode); got != 0 {
+		t.Errorf("unreached decode stage = %d ns, want 0", got)
+	}
+	if got := sp.StageNS(StageDupcheck); got != 4000 {
+		t.Errorf("dupcheck stage (gap over skipped decode) = %d ns, want 4000", got)
+	}
+	if got := sp.TotalNS(); got != 7000 {
+		t.Errorf("total = %d ns, want 7000", got)
+	}
+	sp.AddLockWait(250)
+	sp.AddLockWait(250)
+	if sp.LockWaitNS != 500 {
+		t.Errorf("lock wait = %d, want 500", sp.LockWaitNS)
+	}
+	// All span mutators must be nil-safe: call sites stay unconditional.
+	var nilSp *Span
+	nilSp.Stamp(StageRead)
+	nilSp.SetStageEnd(StageRead, 1)
+	nilSp.AddLockWait(1)
+	nilSp.SetCall(1, 2)
+	nilSp.SetErr()
+}
+
+func TestSpanRingKeepsSlowest(t *testing.T) {
+	r := NewSpanRing(4)
+	base := time.Unix(1000, 0)
+	for i := 1; i <= 10; i++ {
+		sp := Span{XID: uint32(i), Begin: base}
+		sp.SetStageEnd(StageSend, int64(i)*1000)
+		r.Offer(&sp)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("ring holds %d spans, want 4", r.Len())
+	}
+	slow := r.Slowest()
+	for i, want := range []uint32{10, 9, 8, 7} {
+		if slow[i].XID != want {
+			t.Errorf("slowest[%d].XID = %d, want %d", i, slow[i].XID, want)
+		}
+	}
+	// A fast span must be rejected without displacing anything.
+	fast := Span{XID: 99, Begin: base}
+	fast.SetStageEnd(StageSend, 1)
+	r.Offer(&fast)
+	for _, sp := range r.Slowest() {
+		if sp.XID == 99 {
+			t.Error("fast span displaced a slow one")
+		}
+	}
+}
+
+// TestStageStatsConcurrent exercises Record from many goroutines under
+// -race: histograms, ring admission and the floor threshold must all be
+// safe with per-goroutine span reuse (the nfsd pool's usage pattern).
+func TestStageStatsConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	ss := NewStageStats(reg, 16)
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			var sp Span
+			for i := 0; i < perWorker; i++ {
+				sp.Reset(time.Now())
+				sp.Worker = int32(id)
+				sp.XID = uint32(id*perWorker + i)
+				sp.Stamp(StageRead)
+				sp.Stamp(StageQueue)
+				sp.Stamp(StageDecode)
+				sp.Stamp(StageService)
+				sp.Stamp(StageEncode)
+				sp.Stamp(StageSend)
+				sp.AddLockWait(int64(i))
+				ss.Record(&sp)
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := reg.Snapshot()
+	total := snap.Histograms["rpc.stage.total.us"]
+	if total.Count != workers*perWorker {
+		t.Errorf("total histogram count = %d, want %d", total.Count, workers*perWorker)
+	}
+	for _, name := range []string{"read", "queue", "decode", "service", "encode", "send"} {
+		h := snap.Histograms["rpc.stage."+name+".us"]
+		if h.Count != workers*perWorker {
+			t.Errorf("stage %s count = %d, want %d", name, h.Count, workers*perWorker)
+		}
+	}
+	if got := snap.Histograms["rpc.stage.dupcheck.us"].Count; got != 0 {
+		t.Errorf("unreached dupcheck stage recorded %d observations", got)
+	}
+	if ss.Ring().Len() != 16 {
+		t.Errorf("ring holds %d spans, want 16", ss.Ring().Len())
+	}
+}
+
+// TestChromeTraceGolden pins the trace-dump wire format: deterministic
+// spans must encode byte-for-byte as the checked-in golden file (load it at
+// chrome://tracing to eyeball what consumers see).
+func TestChromeTraceGolden(t *testing.T) {
+	base := time.Unix(1_600_000_000, 0)
+	spans := []Span{
+		mkSpan(base, 1, [NumStages]int64{5, 120, 3, 2, 840, 4, 9}),
+		mkSpan(base, 0, [NumStages]int64{7, 40, 2, 0, 310, 3, 6}),
+		mkSpan(base, 2, [NumStages]int64{4, 15, 2, 1, 95, 0, 0}),
+	}
+	spans[2].Worker = -1 // TCP-style span: shares the 9999 track
+	spans[2].Err = true
+	spans[1].LockWaitNS = 1500
+	procs := map[uint32]string{0: "null", 1: "getattr", 2: "lookup", 3: "read"}
+	var buf bytes.Buffer
+	err := WriteChromeTrace(&buf, spans, func(p uint32) string { return procs[p] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace output diverges from golden:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"renonfs/internal/lockstat"
 	"renonfs/internal/mbuf"
 	"renonfs/internal/metrics"
 	"renonfs/internal/nfsproto"
@@ -59,16 +60,31 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 
 	// nfsd utilization: how many dispatchers are inside HandleCall right
-	// now, mirrored into the rpc.nfsd.busy gauge.
+	// now. The rpc.nfsd.busy gauge is published lazily by PublishStats —
+	// the earlier per-dispatch gauge writes were two extra stores on one
+	// shared cache line per RPC, a serialization point the mutex/stage
+	// telemetry this package now carries exists to catch.
 	busyCount atomic.Int64
 	busy      *metrics.Gauge
+
+	// stages aggregates every request's span into the rpc.stage.*
+	// histograms and keeps the slowest spans for trace dumps.
+	stages *metrics.StageStats
 }
+
+// crashSite attributes waits on the quiesce gate: nonzero numbers mean
+// dispatch stalled behind a Crash (or the gate itself became a bottleneck).
+var crashSite = lockstat.NewSite("nfsnet.crashgate")
 
 // udpJob is one datagram awaiting an nfsd: the request already lives in
 // (pooled) mbufs, so the reader's socket buffer is immediately reusable.
 type udpJob struct {
 	addr *net.UDPAddr
 	req  *mbuf.Chain
+	// t0 is the datagram's arrival (span begin); readNS how long the
+	// socket-to-mbuf staging took (the span's read stage).
+	t0     time.Time
+	readNS int64
 }
 
 // Serve starts UDP and TCP listeners on the given addresses (use
@@ -102,6 +118,7 @@ func Serve(srv *server.Server, udpAddr, tcpAddr string) (*Server, error) {
 		closed: make(chan struct{}),
 		conns:  make(map[net.Conn]struct{}),
 		busy:   srv.Metrics.Gauge("rpc.nfsd.busy"),
+		stages: metrics.NewStageStats(srv.Metrics, metrics.DefaultSlowSpans),
 	}
 	for i := 0; i < nfsds; i++ {
 		s.workerWG.Add(1)
@@ -112,6 +129,18 @@ func Serve(srv *server.Server, udpAddr, tcpAddr string) (*Server, error) {
 	s.acceptWG.Add(1)
 	go s.serveTCP()
 	return s, nil
+}
+
+// Stages exposes the stage-level span aggregator (trace dumps read its
+// slow-span ring).
+func (s *Server) Stages() *metrics.StageStats { return s.stages }
+
+// PublishStats refreshes the lazily maintained metric surfaces: the
+// rpc.nfsd.busy gauge and the lock.<site>.* contention counters. Stats
+// endpoints call this right before snapshotting the registry.
+func (s *Server) PublishStats() {
+	s.busy.Set(float64(s.busyCount.Load()))
+	lockstat.Publish(s.srv.Metrics)
 }
 
 // Core returns the server core behind the sockets. Its Stats and Metrics
@@ -152,17 +181,17 @@ func (s *Server) Close() {
 // dispatch runs one request (which the callee consumes) through the core
 // under the crash gate and returns the linearized reply bytes, or nil when
 // the call produced no reply (garbage, crash window, in-flight duplicate).
-func (s *Server) dispatch(peer string, req *mbuf.Chain) []byte {
-	s.crashMu.RLock()
+func (s *Server) dispatch(peer string, req *mbuf.Chain, sp *metrics.Span) []byte {
+	crashSite.RLock(&s.crashMu, sp)
 	defer s.crashMu.RUnlock()
 	if s.srv.Down() {
 		req.Free()
+		sp.SetErr()
 		return nil // crashed: the request vanishes, like the sim frontends
 	}
-	n := s.busyCount.Add(1)
-	s.busy.Set(float64(n))
-	rep := s.srv.HandleCall(nil, peer, req)
-	s.busy.Set(float64(s.busyCount.Add(-1)))
+	s.busyCount.Add(1)
+	rep := s.srv.HandleCallSpan(nil, peer, req, sp)
+	s.busyCount.Add(-1)
 	// The request chain is ours (built from the socket read buffer) and the
 	// call is finished with it; recycle its mbufs. The reply is linearized
 	// for the socket, so its mbufs can go back too.
@@ -172,6 +201,7 @@ func (s *Server) dispatch(peer string, req *mbuf.Chain) []byte {
 	}
 	out := rep.Bytes()
 	rep.Free()
+	sp.Stamp(metrics.StageEncode)
 	return out
 }
 
@@ -205,7 +235,9 @@ func (s *Server) serveUDP() {
 				continue
 			}
 		}
-		s.jobs <- udpJob{addr: addr, req: mbuf.FromBytes(buf[:n])}
+		t0 := time.Now()
+		req := mbuf.FromBytes(buf[:n])
+		s.jobs <- udpJob{addr: addr, req: req, t0: t0, readNS: int64(time.Since(t0))}
 	}
 }
 
@@ -216,14 +248,26 @@ func (s *Server) nfsd(id int) {
 	defer s.workerWG.Done()
 	calls := s.srv.Metrics.Counter(fmt.Sprintf("rpc.nfsd.%d.calls", id))
 	busyUS := s.srv.Metrics.Counter(fmt.Sprintf("rpc.nfsd.%d.busy_us", id))
+	// One span per worker, reused for every request: a per-iteration span
+	// would escape to the heap through the cross-package call chain and
+	// cost an allocation per RPC (Record copies by value, never retains).
+	var sp metrics.Span
 	for job := range s.jobs {
 		start := time.Now()
-		rep := s.dispatch("udp:"+job.addr.String(), job.req)
+		sp.Reset(job.t0)
+		sp.Worker = int32(id)
+		peer := "udp:" + job.addr.String()
+		sp.Peer = peer
+		sp.SetStageEnd(metrics.StageRead, job.readNS)
+		sp.Stamp(metrics.StageQueue)
+		rep := s.dispatch(peer, job.req, &sp)
 		busyUS.Add(time.Since(start).Microseconds())
 		calls.Inc()
 		if rep != nil {
 			s.udp.WriteToUDP(rep, job.addr)
+			sp.Stamp(metrics.StageSend)
 		}
+		s.stages.Record(&sp)
 	}
 }
 
@@ -259,6 +303,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 	peer := "tcp:" + conn.RemoteAddr().String()
+	// Per-connection span, reused across records (Worker stays -1: TCP
+	// serving has no pool slot; trace dumps put it on a shared track).
+	var sp metrics.Span
 	var scan rpc.RecordScanner
 	buf := make([]byte, 65536)
 	for {
@@ -271,15 +318,23 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		for _, rec := range recs {
-			rep := s.dispatch(peer, mbuf.FromBytes(rec))
+			sp.Reset(time.Now())
+			sp.Peer = peer
+			req := mbuf.FromBytes(rec)
+			sp.Stamp(metrics.StageRead)
+			rep := s.dispatch(peer, req, &sp)
 			if rep == nil {
+				s.stages.Record(&sp)
 				continue
 			}
 			var mark [4]byte
 			binary.BigEndian.PutUint32(mark[:], 0x80000000|uint32(len(rep)))
 			if _, err := conn.Write(append(mark[:], rep...)); err != nil {
+				s.stages.Record(&sp)
 				return
 			}
+			sp.Stamp(metrics.StageSend)
+			s.stages.Record(&sp)
 		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"renonfs/internal/check"
 	"renonfs/internal/mbuf"
 	"renonfs/internal/memfs"
+	"renonfs/internal/metrics"
 	"renonfs/internal/nfsproto"
 	"renonfs/internal/rpc"
 	"renonfs/internal/server"
@@ -278,16 +279,24 @@ func TestCloseDrainsWithoutLeaks(t *testing.T) {
 }
 
 // TestScalingSmoke verifies that the parallel dispatch layer actually
-// scales: 4 concurrent clients must push at least 1.5x the throughput of
-// one. Real parallelism needs real cores, so the test is opt-in (CI runs
-// it with RENONFS_SCALING=1 on a multicore runner).
+// scales: 4 concurrent clients must push at least 2.5x the throughput of
+// one (the ROADMAP multicore target). Real parallelism needs real cores,
+// so the test is opt-in (RENONFS_SCALING=1), and on fewer than 4 CPUs it
+// skips — unless RENONFS_SCALING_REQUIRE=1, which makes a small machine a
+// loud failure instead of a silent skip (the CI multicore gate sets it so
+// a mis-sized runner can never quietly pass). On regression it prints the
+// per-stage p99 breakdown naming the stage that stopped scaling.
 func TestScalingSmoke(t *testing.T) {
 	if os.Getenv("RENONFS_SCALING") == "" {
 		t.Skip("set RENONFS_SCALING=1 to run the scaling smoke test")
 	}
 	if runtime.NumCPU() < 4 {
+		if os.Getenv("RENONFS_SCALING_REQUIRE") != "" {
+			t.Fatalf("RENONFS_SCALING_REQUIRE set but only %d CPUs: the multicore gate needs >= 4", runtime.NumCPU())
+		}
 		t.Skipf("needs >= 4 CPUs, have %d", runtime.NumCPU())
 	}
+	var lastSnap *metrics.Snapshot
 	tput := func(clients int) float64 {
 		fs := memfs.New(1, nil, nil)
 		opts := server.Reno()
@@ -346,13 +355,26 @@ func TestScalingSmoke(t *testing.T) {
 			}()
 		}
 		wg.Wait()
+		lastSnap = srv.Metrics.Snapshot()
 		return float64(ops) / dur.Seconds()
 	}
 
 	t1 := tput(1)
 	t4 := tput(4)
 	t.Logf("throughput: 1 client %.0f ops/s, 4 clients %.0f ops/s (%.2fx)", t1, t4, t4/t1)
-	if t4 < 1.5*t1 {
-		t.Errorf("4-client throughput %.0f ops/s < 1.5x 1-client %.0f ops/s", t4, t1)
+	if t4 < 2.5*t1 {
+		t.Errorf("4-client throughput %.0f ops/s < 2.5x 1-client %.0f ops/s", t4, t1)
+		// Name the culprit: the per-stage tail at 4 clients.
+		names := metrics.StageNames()
+		for _, st := range append(names[:], "lockwait", "total") {
+			if h, ok := lastSnap.Histograms["rpc.stage."+st+".us"]; ok && h.Count > 0 {
+				t.Logf("  stage %-8s p50 %8.1fµs  p99 %8.1fµs  max %8.1fµs (%d obs)",
+					st, h.Quantile(50), h.Quantile(99), h.Max, h.Count)
+			}
+		}
+		if n, ok := lastSnap.Counters["metrics.registry.contended"]; ok {
+			t.Logf("  metrics registry contended %d times (%.3f ms waiting)",
+				n, float64(lastSnap.Counters["metrics.registry.wait_us"])/1000)
+		}
 	}
 }

@@ -4,9 +4,15 @@ import (
 	"container/list"
 	"sync"
 
+	"renonfs/internal/lockstat"
 	"renonfs/internal/mbuf"
 	"renonfs/internal/metrics"
 )
+
+// dupcSite attributes shard-lock waits to the "server.dupc" lockstat site
+// (and to the caller's span). The legacy server.dupc.contended counter is
+// kept alongside for the existing churn tests and dashboards.
+var dupcSite = lockstat.NewSite("server.dupc")
 
 // dupKey identifies one RPC for duplicate detection: who sent it, its
 // transaction id, and the procedure (a retransmission reuses all three). A
@@ -90,15 +96,16 @@ func (c *dupCache) shard(key dupKey) *dupShard {
 	return &c.shards[(h>>16^h)&c.mask]
 }
 
-// lock takes the shard lock, counting contention when it has to wait.
-func (c *dupCache) lock(sh *dupShard) {
+// lock takes the shard lock, counting contention when it has to wait and
+// charging the wait to the lockstat site and the request's span.
+func (c *dupCache) lock(sh *dupShard, sp *metrics.Span) {
 	if sh.mu.TryLock() {
 		return
 	}
 	if c.cContended != nil {
 		c.cContended.Add(1)
 	}
-	sh.mu.Lock()
+	dupcSite.Lock(&sh.mu, sp)
 }
 
 // begin claims key before executing its call. Exactly one case holds:
@@ -110,9 +117,9 @@ func (c *dupCache) lock(sh *dupShard) {
 //     committed reply).
 //   - neither: the key is now marked in progress and the caller must
 //     execute the call and commit the reply.
-func (c *dupCache) begin(key dupKey) (cached *mbuf.Chain, inflight bool) {
+func (c *dupCache) begin(key dupKey, sp *metrics.Span) (cached *mbuf.Chain, inflight bool) {
 	sh := c.shard(key)
-	c.lock(sh)
+	c.lock(sh, sp)
 	if e := sh.entries[key]; e != nil {
 		ent := e.Value.(*dupEntry)
 		if !ent.done {
@@ -135,9 +142,9 @@ func (c *dupCache) begin(key dupKey) (cached *mbuf.Chain, inflight bool) {
 }
 
 // commit stores the reply for a key claimed by begin.
-func (c *dupCache) commit(key dupKey, reply *mbuf.Chain) {
+func (c *dupCache) commit(key dupKey, reply *mbuf.Chain, sp *metrics.Span) {
 	sh := c.shard(key)
-	c.lock(sh)
+	c.lock(sh, sp)
 	if e := sh.entries[key]; e != nil {
 		ent := e.Value.(*dupEntry)
 		ent.reply = reply
@@ -184,7 +191,7 @@ func (c *dupCache) len() int {
 // serving path uses begin/commit.
 func (c *dupCache) get(key dupKey) *mbuf.Chain {
 	sh := c.shard(key)
-	c.lock(sh)
+	c.lock(sh, nil)
 	defer sh.mu.Unlock()
 	e := sh.entries[key]
 	if e == nil {
@@ -201,7 +208,7 @@ func (c *dupCache) get(key dupKey) *mbuf.Chain {
 // put stores a completed reply directly (tests; the serving path commits).
 func (c *dupCache) put(key dupKey, reply *mbuf.Chain) {
 	sh := c.shard(key)
-	c.lock(sh)
+	c.lock(sh, nil)
 	if e := sh.entries[key]; e != nil {
 		ent := e.Value.(*dupEntry)
 		ent.reply = reply

@@ -307,7 +307,7 @@ func (s *Server) readdirLook(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error 
 		(&nfsproto.ReaddirLookRes{Status: nfsproto.ErrNotDir}).Encode(e)
 		return nil
 	}
-	s.scanDirectory(p, dir)
+	s.scanDirectory(p, dir, nil)
 	ents := s.FS.DirEntries(dir)
 	res := &nfsproto.ReaddirLookRes{Status: nfsproto.OK}
 	budget := int(args.Count)

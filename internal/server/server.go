@@ -378,14 +378,26 @@ func errStatus(err error) nfsproto.Status {
 // message (nil for undecodable garbage, which real servers also drop).
 // peer identifies the caller for duplicate-request caching.
 func (s *Server) HandleCall(p *sim.Proc, peer string, req *mbuf.Chain) *mbuf.Chain {
+	return s.HandleCallSpan(p, peer, req, nil)
+}
+
+// HandleCallSpan is HandleCall carrying the request's latency span: the
+// concurrent frontends pass their per-worker span so the decode, dupcache
+// and service stages — and any lock waits underneath them — are attributed
+// to this request. sp may be nil (the simulator and tests pass nil), and
+// every stamp below is nil-safe.
+func (s *Server) HandleCallSpan(p *sim.Proc, peer string, req *mbuf.Chain, sp *metrics.Span) *mbuf.Chain {
 	s.Stats.BytesIn.Add(int64(req.Len()))
 	s.cBytesIn.Add(int64(req.Len()))
 	reqLen := req.Len()
 	d := xdr.NewDecoder(req)
 	var call rpc.Call
 	if err := rpc.DecodeCallInto(d, &call); err != nil {
+		sp.SetErr()
 		return nil
 	}
+	sp.SetCall(call.XID, call.Proc)
+	sp.Stamp(metrics.StageDecode)
 	if call.Prog == nfsproto.MountProgram && call.Vers == nfsproto.MountVersion &&
 		call.Proc <= nfsproto.MountProcExport {
 		out := &mbuf.Chain{}
@@ -423,8 +435,10 @@ func (s *Server) HandleCall(p *sim.Proc, peer string, req *mbuf.Chain) *mbuf.Cha
 	// the committed reply) instead of executed a second time.
 	dkey := dupKey{peer: peer, xid: call.XID, proc: call.Proc}
 	if nonIdempotent[call.Proc] {
-		cached, inflight := s.dupc.begin(dkey)
+		cached, inflight := s.dupc.begin(dkey, sp)
+		sp.Stamp(metrics.StageDupcheck)
 		if inflight {
+			sp.SetErr()
 			return nil
 		}
 		if cached != nil {
@@ -442,8 +456,10 @@ func (s *Server) HandleCall(p *sim.Proc, peer string, req *mbuf.Chain) *mbuf.Cha
 	out := &mbuf.Chain{}
 	e := xdr.NewEncoder(out)
 	rpc.EncodeReply(out, call.XID, rpc.Success)
-	err := s.dispatch(p, call.Proc, peer, d, e)
+	err := s.dispatch(p, call.Proc, peer, d, e, sp)
+	sp.Stamp(metrics.StageService)
 	if err != nil {
+		sp.SetErr()
 		// Argument decode failure: garbage args.
 		out.Free()
 		out = &mbuf.Chain{}
@@ -464,7 +480,7 @@ func (s *Server) HandleCall(p *sim.Proc, peer string, req *mbuf.Chain) *mbuf.Cha
 		s.charge(p, "xdr_layer", costXDRByte*float64(out.Len()))
 	}
 	if nonIdempotent[call.Proc] {
-		s.dupc.commit(dkey, out.Clone())
+		s.dupc.commit(dkey, out.Clone(), sp)
 	}
 	s.Stats.BytesOut.Add(int64(out.Len()))
 	s.cBytesOut.Add(int64(out.Len()))
@@ -474,7 +490,7 @@ func (s *Server) HandleCall(p *sim.Proc, peer string, req *mbuf.Chain) *mbuf.Cha
 // dispatch decodes arguments from d and encodes results onto e. A returned
 // error means the arguments were garbage; NFS-level failures are encoded as
 // statuses.
-func (s *Server) dispatch(p *sim.Proc, proc uint32, peer string, d *xdr.Decoder, e *xdr.Encoder) error {
+func (s *Server) dispatch(p *sim.Proc, proc uint32, peer string, d *xdr.Decoder, e *xdr.Encoder, sp *metrics.Span) error {
 	switch proc {
 	case nfsproto.ProcLease:
 		return s.leaseCall(p, peer, d, e)
@@ -489,15 +505,15 @@ func (s *Server) dispatch(p *sim.Proc, proc uint32, peer string, d *xdr.Decoder,
 	case nfsproto.ProcSetattr:
 		return s.setattr(p, peer, d, e)
 	case nfsproto.ProcLookup:
-		return s.lookup(p, peer, d, e)
+		return s.lookup(p, peer, d, e, sp)
 	case nfsproto.ProcReadlink:
 		return s.readlink(p, d, e)
 	case nfsproto.ProcRead:
-		return s.read(p, peer, d, e)
+		return s.read(p, peer, d, e, sp)
 	case nfsproto.ProcWrite:
-		return s.write(p, peer, d, e)
+		return s.write(p, peer, d, e, sp)
 	case nfsproto.ProcCreate:
-		return s.create(p, d, e)
+		return s.create(p, d, e, sp)
 	case nfsproto.ProcRemove:
 		return s.remove(p, d, e)
 	case nfsproto.ProcRename:
@@ -566,7 +582,7 @@ func (s *Server) setattr(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encode
 // scanDirectory walks the directory's blocks through the buffer cache,
 // charging CPU for the buffers examined and the disk for misses. This is
 // where the Reno/Ultrix lookup gap of Graphs 8-9 comes from.
-func (s *Server) scanDirectory(p *sim.Proc, dir *memfs.Inode) {
+func (s *Server) scanDirectory(p *sim.Proc, dir *memfs.Inode, sp *metrics.Span) {
 	nblocks := s.FS.DirBlocks(dir)
 	for b := 0; b < nblocks; b++ {
 		key := vfs.BufKey{Vnode: dir.Ino, Gen: dir.Gen, Block: uint32(b)}
@@ -574,7 +590,7 @@ func (s *Server) scanDirectory(p *sim.Proc, dir *memfs.Inode) {
 			// Concurrent frontends (no CPU/disk model): probe and reserve
 			// must be one critical section, or two nfsds scanning the same
 			// directory double-insert.
-			s.bufc.LookupOrReserve(key)
+			s.bufc.LookupOrReserve(key, sp)
 			continue
 		}
 		buf, scanned := s.bufc.Lookup(key)
@@ -588,7 +604,7 @@ func (s *Server) scanDirectory(p *sim.Proc, dir *memfs.Inode) {
 	}
 }
 
-func (s *Server) lookup(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder) error {
+func (s *Server) lookup(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder, sp *metrics.Span) error {
 	args, err := nfsproto.DecodeDiropArgs(d)
 	if err != nil {
 		return err
@@ -602,7 +618,7 @@ func (s *Server) lookup(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder
 	// Name cache first (when the personality has one).
 	if s.namec.Enabled() {
 		s.charge(p, "namecache", costNameCacheHit)
-		if vn, vgen, neg, found := s.namec.Lookup(dir.Ino, dir.Gen, args.Name); found {
+		if vn, vgen, neg, found := s.namec.Lookup(dir.Ino, dir.Gen, args.Name, sp); found {
 			if neg {
 				(&nfsproto.DiropRes{Status: nfsproto.ErrNoEnt}).Encode(e)
 				return nil
@@ -619,17 +635,17 @@ func (s *Server) lookup(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder
 			s.namec.Remove(dir.Ino, dir.Gen, args.Name)
 		}
 	}
-	s.scanDirectory(p, dir)
+	s.scanDirectory(p, dir, sp)
 	n, err := s.FS.Lookup(dir, args.Name)
 	if err != nil {
 		if err == memfs.ErrNoEnt {
-			s.namec.EnterNegative(dir.Ino, dir.Gen, args.Name)
+			s.namec.EnterNegative(dir.Ino, dir.Gen, args.Name, sp)
 		}
 		s.countErr()
 		(&nfsproto.DiropRes{Status: errStatus(err)}).Encode(e)
 		return nil
 	}
-	s.namec.Enter(dir.Ino, dir.Gen, args.Name, n.Ino, n.Gen)
+	s.namec.Enter(dir.Ino, dir.Gen, args.Name, n.Ino, n.Gen, sp)
 	if s.leaseConflict(p, s.FS.FH(n), false, peer) {
 		(&nfsproto.DiropRes{Status: nfsproto.ErrTryLater}).Encode(e)
 		return nil
@@ -659,7 +675,7 @@ func (s *Server) readlink(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
 	return nil
 }
 
-func (s *Server) read(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder) error {
+func (s *Server) read(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder, sp *metrics.Span) error {
 	args, err := nfsproto.DecodeReadArgs(d)
 	if err != nil {
 		return err
@@ -685,7 +701,7 @@ func (s *Server) read(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder) 
 	for b := first; b <= last; b++ {
 		key := vfs.BufKey{Vnode: n.Ino, Gen: n.Gen, Block: b}
 		if p == nil {
-			if hit, _ := s.bufc.LookupOrReserve(key); !hit {
+			if hit, _ := s.bufc.LookupOrReserve(key, sp); !hit {
 				cached = false
 			}
 			continue
@@ -703,7 +719,7 @@ func (s *Server) read(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder) 
 	// the §3 "third bottleneck" — as a CPU charge; only the Reno LendPages
 	// personality skips it.
 	data := &mbuf.Chain{}
-	got, err := s.FS.ReadLoan(p, n, args.Offset, args.Count, cached, data)
+	got, err := s.FS.ReadLoan(p, n, args.Offset, args.Count, cached, data, sp)
 	if err != nil {
 		data.Free()
 		(&nfsproto.ReadRes{Status: errStatus(err)}).Encode(e)
@@ -717,7 +733,7 @@ func (s *Server) read(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder) 
 	return nil
 }
 
-func (s *Server) write(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder) error {
+func (s *Server) write(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder, sp *metrics.Span) error {
 	args, err := nfsproto.DecodeWriteArgs(d)
 	if err != nil {
 		return err
@@ -760,14 +776,14 @@ func (s *Server) write(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder)
 		}
 		s.gatherMu.Unlock()
 	}
-	if err := s.FS.WriteAtChain(p, n, args.Offset, args.Data, diskWrites); err != nil {
+	if err := s.FS.WriteAtChain(p, n, args.Offset, args.Data, diskWrites, sp); err != nil {
 		(&nfsproto.AttrRes{Status: errStatus(err)}).Encode(e)
 		return nil
 	}
 	// The written block is now cached.
 	key := vfs.BufKey{Vnode: n.Ino, Gen: n.Gen, Block: args.Offset / memfs.BlockSize}
 	if p == nil {
-		s.bufc.EnsureResident(key)
+		s.bufc.EnsureResident(key, sp)
 	} else if b := s.bufc.Peek(key); b == nil {
 		s.bufc.Insert(key)
 	}
@@ -776,7 +792,7 @@ func (s *Server) write(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder)
 	return nil
 }
 
-func (s *Server) create(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
+func (s *Server) create(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder, sp *metrics.Span) error {
 	args, err := nfsproto.DecodeCreateArgs(d)
 	if err != nil {
 		return err
@@ -787,7 +803,7 @@ func (s *Server) create(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
 		(&nfsproto.DiropRes{Status: errStatus(err)}).Encode(e)
 		return nil
 	}
-	s.scanDirectory(p, dir)
+	s.scanDirectory(p, dir, sp)
 	mode := args.Attr.Mode
 	if mode == nfsproto.NoValue {
 		mode = 0644
@@ -808,7 +824,7 @@ func (s *Server) create(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
 		trunc.Size = args.Attr.Size
 		s.FS.Setattr(p, n, trunc)
 	}
-	s.namec.Enter(dir.Ino, dir.Gen, args.Where.Name, n.Ino, n.Gen)
+	s.namec.Enter(dir.Ino, dir.Gen, args.Where.Name, n.Ino, n.Gen, sp)
 	attr := s.FS.Attr(n)
 	(&nfsproto.DiropRes{Status: nfsproto.OK, File: s.FS.FH(n), Attr: &attr}).Encode(e)
 	return nil
@@ -822,7 +838,7 @@ func (s *Server) remove(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
 	s.charge(p, "nfs", costVOP)
 	dir, rerr := s.FS.Resolve(args.Dir)
 	if rerr == nil {
-		s.scanDirectory(p, dir)
+		s.scanDirectory(p, dir, nil)
 		if n, lerr := s.FS.Lookup(dir, args.Name); lerr == nil {
 			s.bufc.InvalidateVnode(n.Ino, n.Gen)
 			s.namec.PurgeVnode(n.Ino, n.Gen)
@@ -852,9 +868,9 @@ func (s *Server) rename(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
 	case terr != nil:
 		rerr = terr
 	default:
-		s.scanDirectory(p, from)
+		s.scanDirectory(p, from, nil)
 		if to != from {
-			s.scanDirectory(p, to)
+			s.scanDirectory(p, to, nil)
 		}
 		s.namec.Remove(from.Ino, from.Gen, args.From.Name)
 		s.namec.Remove(to.Ino, to.Gen, args.To.Name)
@@ -882,10 +898,10 @@ func (s *Server) link(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
 	case derr != nil:
 		rerr = derr
 	default:
-		s.scanDirectory(p, dir)
+		s.scanDirectory(p, dir, nil)
 		rerr = s.FS.Link(p, n, dir, args.To.Name)
 		if rerr == nil {
-			s.namec.Enter(dir.Ino, dir.Gen, args.To.Name, n.Ino, n.Gen)
+			s.namec.Enter(dir.Ino, dir.Gen, args.To.Name, n.Ino, n.Gen, nil)
 		}
 	}
 	if rerr != nil {
@@ -903,7 +919,7 @@ func (s *Server) symlink(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
 	s.charge(p, "nfs", costVOP)
 	dir, rerr := s.FS.Resolve(args.From.Dir)
 	if rerr == nil {
-		s.scanDirectory(p, dir)
+		s.scanDirectory(p, dir, nil)
 		mode := args.Attr.Mode
 		if mode == nfsproto.NoValue {
 			mode = 0777
@@ -928,7 +944,7 @@ func (s *Server) mkdir(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
 		(&nfsproto.DiropRes{Status: errStatus(rerr)}).Encode(e)
 		return nil
 	}
-	s.scanDirectory(p, dir)
+	s.scanDirectory(p, dir, nil)
 	mode := args.Attr.Mode
 	if mode == nfsproto.NoValue {
 		mode = 0755
@@ -939,7 +955,7 @@ func (s *Server) mkdir(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
 		(&nfsproto.DiropRes{Status: errStatus(rerr)}).Encode(e)
 		return nil
 	}
-	s.namec.Enter(dir.Ino, dir.Gen, args.Where.Name, n.Ino, n.Gen)
+	s.namec.Enter(dir.Ino, dir.Gen, args.Where.Name, n.Ino, n.Gen, nil)
 	attr := s.FS.Attr(n)
 	(&nfsproto.DiropRes{Status: nfsproto.OK, File: s.FS.FH(n), Attr: &attr}).Encode(e)
 	return nil
@@ -953,7 +969,7 @@ func (s *Server) rmdir(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
 	s.charge(p, "nfs", costVOP)
 	dir, rerr := s.FS.Resolve(args.Dir)
 	if rerr == nil {
-		s.scanDirectory(p, dir)
+		s.scanDirectory(p, dir, nil)
 		if n, lerr := s.FS.Lookup(dir, args.Name); lerr == nil {
 			s.namec.PurgeDir(n.Ino, n.Gen)
 			s.namec.PurgeVnode(n.Ino, n.Gen)
@@ -983,7 +999,7 @@ func (s *Server) readdir(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
 		(&nfsproto.ReaddirRes{Status: nfsproto.ErrNotDir}).Encode(e)
 		return nil
 	}
-	s.scanDirectory(p, dir)
+	s.scanDirectory(p, dir, nil)
 	ents := s.FS.DirEntries(dir)
 	res := &nfsproto.ReaddirRes{Status: nfsproto.OK}
 	// Cookie 0 starts with "." and ".."; synthetic cookies count entries

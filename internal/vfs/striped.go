@@ -1,6 +1,19 @@
 package vfs
 
-import "sync"
+import (
+	"sync"
+
+	"renonfs/internal/lockstat"
+	"renonfs/internal/metrics"
+)
+
+// Per-kind contention sites, shared by every cache instance in the process
+// (the way mbuf.Stats is process-global): the scaling hunt wants "how much
+// time do nfsds spend waiting on buf-cache stripes", not a per-server split.
+var (
+	bufSite  = lockstat.NewSite("vfs.bufcache")
+	nameSite = lockstat.NewSite("vfs.namecache")
+)
 
 // Lock-striped fronts for the two VFS caches, used by the server core when
 // it is dispatched from concurrent frontends (internal/nfsnet). Each stripe
@@ -75,9 +88,9 @@ func (c *StripedBufCache) NumStripes() int { return len(c.stripes) }
 // in one critical section — two nfsds missing on the same block must not
 // both insert it (the legacy Lookup-then-Insert pair panics on the second).
 // Stats accounting is identical to Lookup followed by Insert on a miss.
-func (c *StripedBufCache) LookupOrReserve(k BufKey) (hit bool, scanned int) {
+func (c *StripedBufCache) LookupOrReserve(k BufKey, sp *metrics.Span) (hit bool, scanned int) {
 	st := c.stripe(k.Vnode, k.Gen)
-	st.mu.Lock()
+	bufSite.Lock(&st.mu, sp)
 	b, scanned := st.c.Lookup(k)
 	if b == nil {
 		st.c.Insert(k)
@@ -92,7 +105,7 @@ func (c *StripedBufCache) LookupOrReserve(k BufKey) (hit bool, scanned int) {
 // code put it; concurrent frontends use LookupOrReserve instead.
 func (c *StripedBufCache) Lookup(k BufKey) (b *Buf, scanned int) {
 	st := c.stripe(k.Vnode, k.Gen)
-	st.mu.Lock()
+	bufSite.Lock(&st.mu, nil)
 	b, scanned = st.c.Lookup(k)
 	st.mu.Unlock()
 	return b, scanned
@@ -101,7 +114,7 @@ func (c *StripedBufCache) Lookup(k BufKey) (b *Buf, scanned int) {
 // Insert reserves a buffer for k, which must not be resident.
 func (c *StripedBufCache) Insert(k BufKey) {
 	st := c.stripe(k.Vnode, k.Gen)
-	st.mu.Lock()
+	bufSite.Lock(&st.mu, nil)
 	st.c.Insert(k)
 	st.mu.Unlock()
 }
@@ -109,7 +122,7 @@ func (c *StripedBufCache) Insert(k BufKey) {
 // Peek finds a resident buffer without LRU refresh or scan accounting.
 func (c *StripedBufCache) Peek(k BufKey) *Buf {
 	st := c.stripe(k.Vnode, k.Gen)
-	st.mu.Lock()
+	bufSite.Lock(&st.mu, nil)
 	b := st.c.Peek(k)
 	st.mu.Unlock()
 	return b
@@ -118,9 +131,9 @@ func (c *StripedBufCache) Peek(k BufKey) *Buf {
 // EnsureResident makes k resident without LRU refresh or scan accounting
 // (the write path: the just-written block is now cached). Equivalent to the
 // legacy Peek-then-Insert pair, made atomic.
-func (c *StripedBufCache) EnsureResident(k BufKey) {
+func (c *StripedBufCache) EnsureResident(k BufKey, sp *metrics.Span) {
 	st := c.stripe(k.Vnode, k.Gen)
-	st.mu.Lock()
+	bufSite.Lock(&st.mu, sp)
 	if st.c.Peek(k) == nil {
 		st.c.Insert(k)
 	}
@@ -130,7 +143,7 @@ func (c *StripedBufCache) EnsureResident(k BufKey) {
 // InvalidateVnode drops every buffer of the vnode.
 func (c *StripedBufCache) InvalidateVnode(vn, gen uint32) {
 	st := c.stripe(vn, gen)
-	st.mu.Lock()
+	bufSite.Lock(&st.mu, nil)
 	st.c.InvalidateVnode(vn, gen)
 	st.mu.Unlock()
 }
@@ -225,26 +238,26 @@ func (c *StripedNameCache) Enabled() bool {
 }
 
 // Lookup consults the cache; semantics match NameCache.Lookup.
-func (c *StripedNameCache) Lookup(dir, dgen uint32, name string) (vn, vgen uint32, neg, found bool) {
+func (c *StripedNameCache) Lookup(dir, dgen uint32, name string, sp *metrics.Span) (vn, vgen uint32, neg, found bool) {
 	st := c.stripe(dir, dgen, name)
-	st.mu.Lock()
+	nameSite.Lock(&st.mu, sp)
 	vn, vgen, neg, found = st.c.Lookup(dir, dgen, name)
 	st.mu.Unlock()
 	return vn, vgen, neg, found
 }
 
 // Enter caches a positive translation.
-func (c *StripedNameCache) Enter(dir, dgen uint32, name string, vn, vgen uint32) {
+func (c *StripedNameCache) Enter(dir, dgen uint32, name string, vn, vgen uint32, sp *metrics.Span) {
 	st := c.stripe(dir, dgen, name)
-	st.mu.Lock()
+	nameSite.Lock(&st.mu, sp)
 	st.c.Enter(dir, dgen, name, vn, vgen)
 	st.mu.Unlock()
 }
 
 // EnterNegative caches known non-existence.
-func (c *StripedNameCache) EnterNegative(dir, dgen uint32, name string) {
+func (c *StripedNameCache) EnterNegative(dir, dgen uint32, name string, sp *metrics.Span) {
 	st := c.stripe(dir, dgen, name)
-	st.mu.Lock()
+	nameSite.Lock(&st.mu, sp)
 	st.c.EnterNegative(dir, dgen, name)
 	st.mu.Unlock()
 }
@@ -252,7 +265,7 @@ func (c *StripedNameCache) EnterNegative(dir, dgen uint32, name string) {
 // Remove drops one translation.
 func (c *StripedNameCache) Remove(dir, dgen uint32, name string) {
 	st := c.stripe(dir, dgen, name)
-	st.mu.Lock()
+	nameSite.Lock(&st.mu, nil)
 	st.c.Remove(dir, dgen, name)
 	st.mu.Unlock()
 }

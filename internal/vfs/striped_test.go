@@ -24,7 +24,7 @@ func TestStripedBufCacheSingleStripeMatchesLegacy(t *testing.T) {
 		if b, _ := legacy.Lookup(k); b == nil {
 			legacy.Insert(k)
 		}
-		striped.LookupOrReserve(k)
+		striped.LookupOrReserve(k, nil)
 	}
 	ls, ss := legacy.Stats, striped.Stats()
 	if ls != ss {
@@ -61,9 +61,9 @@ func TestStripedBufCacheConcurrent(t *testing.T) {
 			for i := 0; i < opsPerWorker; i++ {
 				vn := (seed + uint32(i)) % 16
 				k := BufKey{Vnode: vn, Gen: 1, Block: uint32(i) % 8}
-				c.LookupOrReserve(k)
+				c.LookupOrReserve(k, nil)
 				if i%7 == 0 {
-					c.EnsureResident(k)
+					c.EnsureResident(k, nil)
 				}
 				if i%97 == 0 {
 					c.InvalidateVnode(vn, 1)
@@ -91,13 +91,13 @@ func TestStripedNameCacheSingleStripeMatchesLegacy(t *testing.T) {
 	for i, o := range ops {
 		if o.neg {
 			legacy.EnterNegative(1, 1, o.name)
-			striped.EnterNegative(1, 1, o.name)
+			striped.EnterNegative(1, 1, o.name, nil)
 		} else {
 			legacy.Enter(1, 1, o.name, uint32(i+10), 1)
-			striped.Enter(1, 1, o.name, uint32(i+10), 1)
+			striped.Enter(1, 1, o.name, uint32(i+10), 1, nil)
 		}
 		lv, lg, ln, lf := legacy.Lookup(1, 1, o.name)
-		sv, sg, sn, sf := striped.Lookup(1, 1, o.name)
+		sv, sg, sn, sf := striped.Lookup(1, 1, o.name, nil)
 		if lv != sv || lg != sg || ln != sn || lf != sf {
 			t.Fatalf("op %d: lookup diverges", i)
 		}
@@ -121,13 +121,13 @@ func TestStripedNameCacheConcurrent(t *testing.T) {
 			for i := 0; i < 2000; i++ {
 				name := fmt.Sprintf("f%d", (seed+i)%64)
 				dir := uint32((seed + i) % 4)
-				c.Enter(dir, 1, name, uint32(i), 1)
-				c.Lookup(dir, 1, name)
+				c.Enter(dir, 1, name, uint32(i), 1, nil)
+				c.Lookup(dir, 1, name, nil)
 				switch i % 31 {
 				case 0:
 					c.Remove(dir, 1, name)
 				case 1:
-					c.EnterNegative(dir, 1, name)
+					c.EnterNegative(dir, 1, name, nil)
 				case 2:
 					c.PurgeDir(dir, 1)
 				case 3:
@@ -146,7 +146,7 @@ func TestStripedNameCacheConcurrent(t *testing.T) {
 	if c.Enabled() {
 		t.Error("SetEnabled(false) did not stick")
 	}
-	if _, _, _, found := c.Lookup(0, 1, "f0"); found {
+	if _, _, _, found := c.Lookup(0, 1, "f0", nil); found {
 		t.Error("disabled cache returned a hit")
 	}
 }
