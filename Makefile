@@ -39,16 +39,20 @@ bench-smoke:
 	$(GO) test -run 'TestAllocBudget|TestReadReplyZeroCopy' -bench=. -benchmem -benchtime 1x .
 
 # Real-socket scaling curves: GOMAXPROCS 1/2/4/8 x 1/2/4/8 concurrent
-# clients against the parallel nfsd worker pool, with per-stage p99
-# breakdowns, recorded in BENCH_scaling.json. Needs real cores to show real
-# parallelism (the JSON carries num_cpu so a 1-core record is identifiable).
+# clients against the parallel nfsd worker pool — each GOMAXPROCS setting
+# measured with 1 ingest reader (the legacy single-socket baseline) and
+# with readers=GOMAXPROCS (the sharded frontend) — with per-stage p99
+# breakdowns, recorded in BENCH_scaling.json (each run carries a "readers"
+# field). Needs real cores to show real parallelism (the JSON carries
+# num_cpu so a 1-core record is identifiable).
 scaling:
 	$(GO) run ./cmd/nfsbench -scaling
 
-# The CI multicore gate: fails if 4-client throughput < 2.5x 1-client, and
-# (with RENONFS_SCALING_REQUIRE=1, as CI sets) fails rather than skips on a
-# runner with fewer than 4 cores. On regression the test prints the
-# per-stage p99 table naming the stage that stopped scaling.
+# The CI multicore gate: measures both ingest configurations — readers=1
+# (legacy baseline, reported) and readers=GOMAXPROCS (sharded, gated) —
+# printing the per-stage p99 table for each. Fails if the sharded config's
+# 4-client throughput < 2.5x 1-client, and (with RENONFS_SCALING_REQUIRE=1,
+# as CI sets) fails rather than skips on a runner with fewer than 4 cores.
 scaling-smoke:
 	RENONFS_SCALING=1 $(GO) test -run TestScalingSmoke -v ./internal/nfsnet
 

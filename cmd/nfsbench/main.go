@@ -51,6 +51,7 @@ func main() {
 		clients    = flag.Int("clients", 0, "real-socket mode: this many concurrent clients (0: simulated experiments)")
 		scaling    = flag.Bool("scaling", false, "real-socket mode: 1/2/4/8-client scaling curve")
 		nfsds      = flag.Int("nfsds", 8, "size of the nfsd worker pool in the real-socket modes")
+		readers    = flag.Int("readers", 0, "sharded UDP ingest readers in -clients mode (0 = one per GOMAXPROCS; -scaling sweeps 1 and GOMAXPROCS itself)")
 		dur        = flag.Duration("dur", 2*time.Second, "per-point measurement duration in the real-socket modes")
 		scalingOut = flag.String("scaling-out", "BENCH_scaling.json", "where -scaling writes its JSON curve (empty: don't write)")
 		tracePath  = flag.String("trace", "", "write the slowest spans as Chrome trace JSON to this file (socket modes)")
@@ -73,7 +74,7 @@ func main() {
 		return
 	}
 	if *clients > 0 {
-		runClients(*clients, *nfsds, *dur, *tracePath)
+		runClients(*clients, *nfsds, *readers, *dur, *tracePath)
 		return
 	}
 

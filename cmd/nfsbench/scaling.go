@@ -3,10 +3,12 @@ package main
 // The -clients/-scaling modes: real-socket multiclient load against the
 // parallel nfsd pool (internal/nfsnet), as opposed to the simulated
 // experiments. One point measures N concurrent UDP clients hammering
-// READ(8K)+LOOKUP; the curve sweeps GOMAXPROCS 1/2/4/8 × 1/2/4/8 clients
-// and writes BENCH_scaling.json — with the per-stage p99 breakdown for
-// every point, so a flat curve names the stage that refuses to scale —
-// the record `make scaling` and CI compare against.
+// READ(8K)+LOOKUP; the curve sweeps GOMAXPROCS 1/2/4/8 × 1/2/4/8 clients —
+// each GOMAXPROCS setting measured with one ingest reader (the legacy
+// single-socket baseline) and again with readers=GOMAXPROCS (the sharded
+// frontend) — and writes BENCH_scaling.json with the per-stage p99
+// breakdown for every point, so a flat curve names the stage that refuses
+// to scale — the record `make scaling` and CI compare against.
 
 import (
 	"encoding/json"
@@ -37,9 +39,12 @@ type scalingPoint struct {
 	LockWaitP99US float64 `json:"lockwait_p99_us"`
 }
 
-// scalingRun is the curve at one GOMAXPROCS setting.
+// scalingRun is the curve at one GOMAXPROCS × readers setting. Readers is
+// the size of the sharded UDP ingest frontend: 1 is the legacy
+// single-reader baseline, GOMAXPROCS is the sharded configuration.
 type scalingRun struct {
 	GOMAXPROCS int            `json:"gomaxprocs"`
+	Readers    int            `json:"readers"`
 	Points     []scalingPoint `json:"points"`
 }
 
@@ -63,11 +68,13 @@ type pointResult struct {
 }
 
 // measureClients runs one point: n concurrent UDP clients against a fresh
-// real-socket server, each looping READ(8K)+LOOKUP for dur.
-func measureClients(n, nfsds int, dur time.Duration) (*pointResult, error) {
+// real-socket server with the given ingest reader count, each looping
+// READ(8K)+LOOKUP for dur.
+func measureClients(n, nfsds, readers int, dur time.Duration) (*pointResult, error) {
 	fs := memfs.New(1, nil, nil)
 	opts := server.Reno()
 	opts.NFSDs = nfsds
+	opts.Readers = readers
 	srv := server.New(fs, opts)
 	s, err := nfsnet.Serve(srv, "127.0.0.1:0", "127.0.0.1:0")
 	if err != nil {
@@ -144,14 +151,18 @@ func measureClients(n, nfsds int, dur time.Duration) (*pointResult, error) {
 
 // runClients serves the -clients N mode: one point, printed with its stage
 // breakdown; with tracePath the slowest spans dump as Chrome trace JSON.
-func runClients(n, nfsds int, dur time.Duration, tracePath string) {
-	res, err := measureClients(n, nfsds, dur)
+func runClients(n, nfsds, readers int, dur time.Duration, tracePath string) {
+	res, err := measureClients(n, nfsds, readers, dur)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nfsbench: -clients: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("%d client(s) x %v against %d nfsds: %.0f ops/s (READ 8K + LOOKUP)\n",
-		n, dur, nfsds, res.opsPerS)
+	rdesc := fmt.Sprintf("%d reader(s)", readers)
+	if readers == 0 {
+		rdesc = fmt.Sprintf("%d reader(s) [GOMAXPROCS]", runtime.GOMAXPROCS(0))
+	}
+	fmt.Printf("%d client(s) x %v against %d nfsds, %s: %.0f ops/s (READ 8K + LOOKUP)\n",
+		n, dur, nfsds, rdesc, res.opsPerS)
 	printStageP99(res)
 	writeTrace(tracePath, res.spans)
 }
@@ -208,32 +219,44 @@ func runScaling(nfsds int, dur time.Duration, out, tracePath string) {
 	var lastSpans []metrics.Span
 	for _, procs := range []int{1, 2, 4, 8} {
 		runtime.GOMAXPROCS(procs)
-		fmt.Printf("  GOMAXPROCS=%d\n", procs)
-		run := scalingRun{GOMAXPROCS: procs}
-		var base float64
-		for _, n := range []int{1, 2, 4, 8} {
-			res, err := measureClients(n, nfsds, dur)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "nfsbench: -scaling (%d procs, %d clients): %v\n", procs, n, err)
-				os.Exit(1)
-			}
-			if n == 1 {
-				base = res.opsPerS
-			}
-			speedup := 0.0
-			if base > 0 {
-				speedup = res.opsPerS / base
-			}
-			fmt.Printf("    %d clients: %8.0f ops/s  (%.2fx)\n", n, res.opsPerS, speedup)
-			printStageP99(res)
-			run.Points = append(run.Points, scalingPoint{
-				Clients: n, OpsPerS: res.opsPerS, Speedup: speedup,
-				StageP99US: res.stageP99, LockWaitP99US: res.lockP99,
-			})
-			lastSpans = res.spans
+		// Each GOMAXPROCS setting is measured twice: with a single ingest
+		// reader (the pre-sharding baseline, so the record still shows the
+		// single-socket ceiling) and with readers=procs (the sharded
+		// frontend). At procs=1 the two configurations are identical, so
+		// only one run is recorded.
+		readerConfigs := []int{1, procs}
+		if procs == 1 {
+			readerConfigs = readerConfigs[:1]
 		}
-		rep.Runs = append(rep.Runs, run)
-		fmt.Println()
+		for _, readers := range readerConfigs {
+			fmt.Printf("  GOMAXPROCS=%d readers=%d\n", procs, readers)
+			run := scalingRun{GOMAXPROCS: procs, Readers: readers}
+			var base float64
+			for _, n := range []int{1, 2, 4, 8} {
+				res, err := measureClients(n, nfsds, readers, dur)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "nfsbench: -scaling (%d procs, %d readers, %d clients): %v\n",
+						procs, readers, n, err)
+					os.Exit(1)
+				}
+				if n == 1 {
+					base = res.opsPerS
+				}
+				speedup := 0.0
+				if base > 0 {
+					speedup = res.opsPerS / base
+				}
+				fmt.Printf("    %d clients: %8.0f ops/s  (%.2fx)\n", n, res.opsPerS, speedup)
+				printStageP99(res)
+				run.Points = append(run.Points, scalingPoint{
+					Clients: n, OpsPerS: res.opsPerS, Speedup: speedup,
+					StageP99US: res.stageP99, LockWaitP99US: res.lockP99,
+				})
+				lastSpans = res.spans
+			}
+			rep.Runs = append(rep.Runs, run)
+			fmt.Println()
+		}
 	}
 	writeTrace(tracePath, lastSpans)
 	if out == "" {

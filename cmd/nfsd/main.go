@@ -9,7 +9,10 @@
 //
 // -nfsds sizes the parallel worker pool: UDP requests and every TCP
 // connection dispatch concurrently into the server core, so NFSDs means
-// real parallelism here, not just simulated daemons.
+// real parallelism here, not just simulated daemons. -readers sizes the
+// sharded UDP ingest frontend (SO_REUSEPORT sockets where the platform
+// supports it, shared-socket reader goroutines elsewhere); 0 runs one
+// reader per GOMAXPROCS.
 //
 // The exported filesystem is in-memory and seeded with a small demo tree.
 // The root file handle is printed in hex; cmd/nfsstone and the quickstart
@@ -55,6 +58,7 @@ func main() {
 		statsAddr = flag.String("stats", "127.0.0.1:12050", "stats HTTP listen address (empty disables)")
 		ultrix    = flag.Bool("ultrix", false, "serve with the Ultrix (reference-port) personality")
 		nfsds     = flag.Int("nfsds", 8, "parallel nfsd worker goroutines (the UDP dispatch pool)")
+		readers   = flag.Int("readers", 0, "sharded UDP ingest readers (0 = one per GOMAXPROCS; clamped to -nfsds)")
 		exports   = flag.String("exports", "/,/etc,/home", "comma-separated export paths")
 		rdlook    = flag.Bool("readdirlook", true, "serve the readdir_and_lookup_files extension")
 		traceDump = flag.String("tracedump", "", "write the slowest-span Chrome trace JSON here at shutdown")
@@ -76,6 +80,7 @@ func main() {
 	if *nfsds > 0 {
 		opts.NFSDs = *nfsds
 	}
+	opts.Readers = *readers
 	srv := server.New(fs, opts)
 	for _, path := range strings.Split(*exports, ",") {
 		if path != "" {
@@ -89,8 +94,12 @@ func main() {
 	}
 	defer s.Close()
 	rootFH := srv.RootFH()
-	fmt.Printf("nfsd (%s personality) serving\n  udp %s\n  tcp %s\n  exports %s\n  root fh %x (or MNT \"/\" via the MOUNT protocol)\n",
-		opts.Name, s.UDPAddr(), s.TCPAddr(), *exports, rootFH[:12])
+	ingest := "shared socket"
+	if s.ReusePort() {
+		ingest = "SO_REUSEPORT sockets"
+	}
+	fmt.Printf("nfsd (%s personality) serving\n  udp %s (%d readers, %s)\n  tcp %s\n  exports %s\n  root fh %x (or MNT \"/\" via the MOUNT protocol)\n",
+		opts.Name, s.UDPAddr(), s.Readers(), ingest, s.TCPAddr(), *exports, rootFH[:12])
 	if *statsAddr != "" {
 		go serveStats(*statsAddr, s)
 		fmt.Printf("  stats http://%s/stats (poll with cmd/nfsstat; /trace for a span dump)\n", *statsAddr)
@@ -181,8 +190,30 @@ func printFinal(s *nfsnet.Server) {
 	fmt.Printf("mbuf: %d bytes copied, %d bytes loaned, pool %d hits / %d misses\n",
 		snap.Counters["mbuf.copied_bytes"], snap.Counters["mbuf.loaned_bytes"],
 		snap.Counters["mbuf.pool_hits"], snap.Counters["mbuf.pool_misses"])
+	printReaders(snap, s)
 	printStages(snap)
 	printLocks()
+}
+
+// printReaders renders the per-reader ingest spread: how many datagrams
+// each sharded reader staged and how often it woke from a blocking read.
+func printReaders(snap *metrics.Snapshot, s *nfsnet.Server) {
+	n := s.Readers()
+	if n <= 1 {
+		return
+	}
+	mode := "shared socket"
+	if s.ReusePort() {
+		mode = "SO_REUSEPORT"
+	}
+	tb := stats.NewTable(fmt.Sprintf("udp ingest (%d readers, %s)", n, mode),
+		"reader", "reads", "wakeups")
+	for i := 0; i < n; i++ {
+		tb.AddRow(i,
+			snap.Counters[fmt.Sprintf("rpc.reader.%d.reads", i)],
+			snap.Counters[fmt.Sprintf("rpc.reader.%d.wakeups", i)])
+	}
+	fmt.Print(tb.String())
 }
 
 // printStages renders the per-stage pipeline latency table from the

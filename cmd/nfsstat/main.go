@@ -12,8 +12,10 @@
 //	nfsstat -json                    dump the raw JSON snapshot
 //
 // Besides the per-procedure table it renders the parallel-dispatch view:
-// the nfsd worker pool (rpc.nfsd.busy, per-worker calls and busy time),
-// the sharded duplicate-request-cache counters (server.dupc.*), the
+// the sharded UDP ingest frontend (rpc.reader.<id>.reads/.wakeups and the
+// socket strategy), the nfsd worker pool (rpc.nfsd.busy, per-worker calls
+// and busy time), the sharded duplicate-request-cache counters
+// (server.dupc.*), the
 // stage-level "where the microsecond goes" pipeline breakdown
 // (rpc.stage.<name>.us percentiles — with -z these delta per interval,
 // so a latency regression shows up in the stage where it happens), and
@@ -128,6 +130,7 @@ func render(snap *metrics.Snapshot, delta bool) {
 		snap.Counters["nfs.dup_hits"], snap.Counters["nfs.bytes_in"],
 		snap.Counters["nfs.bytes_out"])
 	renderStages(snap, delta)
+	renderReaders(snap)
 	renderWorkers(snap)
 	renderLocks(snap)
 	fmt.Println()
@@ -186,6 +189,43 @@ func renderLocks(snap *metrics.Snapshot) {
 	tb := stats.NewTable("lock contention", "site", "waits", "wait ms")
 	for _, r := range rows {
 		tb.AddRow(r.name, r.waits, fmt.Sprintf("%.3f", float64(r.waitUS)/1000))
+	}
+	fmt.Print(tb.String())
+}
+
+// renderReaders prints the sharded UDP ingest view: one row per reader
+// (rpc.reader.<id>.reads / .wakeups), showing how evenly datagrams spread
+// across the frontend — with SO_REUSEPORT sockets the kernel's 4-tuple
+// hash does the spreading; on a shared socket the readers rotate on the
+// fd read lock.
+func renderReaders(snap *metrics.Snapshot) {
+	ids := make([]string, 0, 8)
+	for name := range snap.Counters {
+		if rest, ok := strings.CutPrefix(name, "rpc.reader."); ok {
+			if id, ok := strings.CutSuffix(rest, ".reads"); ok {
+				ids = append(ids, id)
+			}
+		}
+	}
+	if len(ids) == 0 {
+		return
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if len(ids[i]) != len(ids[j]) {
+			return len(ids[i]) < len(ids[j]) // numeric order for numeric ids
+		}
+		return ids[i] < ids[j]
+	})
+	mode := "shared socket"
+	if snap.Counters["rpc.reader.reuseport"] != 0 {
+		mode = "SO_REUSEPORT"
+	}
+	tb := stats.NewTable(fmt.Sprintf("udp ingest (%d readers, %s)", len(ids), mode),
+		"reader", "reads", "wakeups")
+	for _, id := range ids {
+		tb.AddRow("reader."+id,
+			snap.Counters["rpc.reader."+id+".reads"],
+			snap.Counters["rpc.reader."+id+".wakeups"])
 	}
 	fmt.Print(tb.String())
 }

@@ -185,3 +185,87 @@ func TestPoolConcurrentChurn(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestCacheFromBytesRoundTrip checks that chains built from a Cache carry
+// the same bytes as ones built by the package-level FromBytes, across the
+// small/cluster boundary and multi-segment sizes, and that freed storage
+// is safely reused on the next build.
+func TestCacheFromBytesRoundTrip(t *testing.T) {
+	var cache Cache
+	defer cache.Drain()
+	sizes := []int{1, MLen - 1, MLen, MLen + 1, ClBytes, ClBytes + MLen + 7}
+	for round := 0; round < 3; round++ {
+		fill := byte(0x30 + round)
+		for _, n := range sizes {
+			payload := bytes.Repeat([]byte{fill}, n)
+			c := cache.FromBytes(payload)
+			if c.Len() != n {
+				t.Fatalf("size %d round %d: chain length %d", n, round, c.Len())
+			}
+			if !bytes.Equal(c.Bytes(), payload) {
+				t.Fatalf("size %d round %d: chain bytes differ from payload", n, round)
+			}
+			c.Free() // next round must see intact data from recycled storage
+		}
+	}
+}
+
+// TestCacheBatchRefill verifies the point of the Cache: the shared pools
+// are touched once per CacheBatch allocations, not once per mbuf.
+func TestCacheBatchRefill(t *testing.T) {
+	Stats.Reset()
+	var cache Cache
+	defer cache.Drain()
+	one := []byte{0xaa}
+	chains := []*Chain{cache.FromBytes(one)}
+	if got := Stats.SmallAllocs.Load(); got != CacheBatch {
+		t.Fatalf("first allocation pulled %d smalls from the pools, want one batch of %d",
+			got, CacheBatch)
+	}
+	// The rest of the batch must come from the cache without pool traffic.
+	for i := 1; i < CacheBatch; i++ {
+		chains = append(chains, cache.FromBytes(one))
+	}
+	if got := Stats.SmallAllocs.Load(); got != CacheBatch {
+		t.Fatalf("draining the cached batch still hit the pools: %d allocs, want %d",
+			got, CacheBatch)
+	}
+	// Allocation CacheBatch+1 triggers the next refill.
+	chains = append(chains, cache.FromBytes(one))
+	if got := Stats.SmallAllocs.Load(); got != 2*CacheBatch {
+		t.Fatalf("refill pulled %d smalls total, want %d", got, 2*CacheBatch)
+	}
+	// Clusters batch independently.
+	big := make([]byte, MLen+1)
+	chains = append(chains, cache.FromBytes(big))
+	if got := Stats.ClusterAllocs.Load(); got != CacheBatch {
+		t.Fatalf("first cluster allocation pulled %d from the pools, want %d",
+			got, CacheBatch)
+	}
+	for _, c := range chains {
+		c.Free()
+	}
+}
+
+// TestCacheDrainRecyclesParkedStorage checks Drain hands cached-but-unused
+// mbufs back to the shared pools instead of stranding them: a post-Drain
+// allocation must be a pool hit, and a drained Cache must still work.
+func TestCacheDrainRecyclesParkedStorage(t *testing.T) {
+	var cache Cache
+	c := cache.FromBytes([]byte{1}) // parks CacheBatch-1 smalls in the cache
+	c.Free()
+	cache.Drain()
+	Stats.Reset()
+	c2 := FromBytes([]byte{2}) // package-level: straight from the shared pool
+	if hits := Stats.PoolHits.Load(); hits != 1 {
+		t.Fatalf("allocation after Drain missed the pool (hits=%d): drained storage was stranded", hits)
+	}
+	c2.Free()
+	// The drained cache is still usable (zero-value semantics all over again).
+	c3 := cache.FromBytes([]byte{3, 4, 5})
+	if !bytes.Equal(c3.Bytes(), []byte{3, 4, 5}) {
+		t.Fatalf("cache unusable after Drain: got % x", c3.Bytes())
+	}
+	c3.Free()
+	cache.Drain()
+}

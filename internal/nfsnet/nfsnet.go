@@ -6,12 +6,21 @@
 // whether its bytes ride a simulated internetwork or a real socket.
 //
 // Dispatch is genuinely parallel: a pool of Opts.NFSDs worker goroutines
-// drains a UDP request queue, and every TCP connection is served on its
-// own goroutine, all calling the core's concurrent-safe HandleCall. The
-// giant "kernel lock" of earlier revisions survives only as a read/write
+// drains per-reader UDP ingest rings, and every TCP connection is served
+// on its own goroutine, all calling the core's concurrent-safe HandleCall.
+// The giant "kernel lock" of earlier revisions survives only as a read/write
 // quiesce gate: every dispatch holds the read side (concurrently with all
 // others), and Crash takes the write side to swap the volatile state with
 // no call in flight.
+//
+// Ingest is sharded too (DESIGN.md §3.3): Opts.Readers reader goroutines
+// stage datagrams into bounded per-reader rings. On Linux each reader owns
+// its own SO_REUSEPORT socket bound to the one service port, so the kernel
+// spreads flows across sockets and readers never contend on a descriptor;
+// elsewhere (or when reuseport binding fails) the readers share one socket
+// and merely pipeline staging against the descriptor's read lock. Each
+// wakeup drains a batch of queued datagrams (recvmmsg-style) into pooled
+// mbufs drawn from a per-reader mbuf.Cache.
 package nfsnet
 
 import (
@@ -19,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,23 +46,25 @@ import (
 type Server struct {
 	srv *server.Server
 
-	udp *net.UDPConn
+	// readers are the sharded UDP ingest lanes; socks the distinct sockets
+	// behind them (len(socks) == len(readers) under reuseport, 1 in the
+	// shared-socket fallback). reuse records which strategy bound.
+	readers []*udpReader
+	socks   []*net.UDPConn
+	reuse   bool
+
 	tcp net.Listener
 
 	// crashMu is the quiesce gate described in the package comment. It is
 	// not a serializer: dispatches share the read side.
 	crashMu sync.RWMutex
 
-	// jobs carries decoded UDP datagrams from the reader to the nfsd pool.
-	// The reader closes it on shutdown; the workers drain what is queued.
-	jobs chan udpJob
-
 	closed    chan struct{}
 	closeOnce sync.Once
 
-	// Shutdown drains in order: reader, then the worker pool (so every
-	// queued request still gets its reply), then the acceptor, then the
-	// per-connection servers.
+	// Shutdown drains in order: readers, then the worker pool (so every
+	// ring-resident request still gets its reply), then the acceptor, then
+	// the per-connection servers.
 	readerWG, workerWG, acceptWG, connWG sync.WaitGroup
 
 	// Live TCP connections, so Close can kick their readers.
@@ -87,45 +99,136 @@ type udpJob struct {
 	readNS int64
 }
 
+// udpReader is one ingest shard: a reader goroutine staging datagrams from
+// conn into ring, and the subset of nfsds that drain the ring (worker i
+// serves ring i%len(readers)). Replies go back out on the shard's conn —
+// under reuseport every socket is bound to the same local port, so the
+// reply's source address is identical whichever socket sends it.
+type udpReader struct {
+	id   int
+	conn *net.UDPConn
+	ring chan udpJob
+	// reads counts datagrams staged (rpc.reader.<id>.reads); wakeups
+	// counts blocking-read returns that yielded at least one datagram
+	// (rpc.reader.<id>.wakeups) — reads/wakeups is the mean drain batch.
+	reads, wakeups *metrics.Counter
+}
+
+// Reader deadlines. A reader that owns its socket re-arms a bounded
+// blocking deadline each loop, so a Close kick can never be erased by a
+// racing re-arm for longer than readerPoll; after a wakeup it drains the
+// already-queued backlog under the short batchPoll deadline (the
+// recvmmsg-style amortization — packets arriving inside the window are
+// taken too, so the window adds no delivery latency). Readers sharing one
+// socket never touch its deadline: a short per-reader deadline on a shared
+// descriptor would wake every blocked sibling.
+const (
+	readerPoll   = 250 * time.Millisecond
+	batchPoll    = time.Millisecond
+	maxBatch     = 64 // datagrams staged per wakeup before re-blocking
+	ringPerNfsd  = 4  // ring slots per worker draining the ring
+	ringMinSlots = 16
+)
+
+// disableReusePort forces the shared-socket fallback; tests set it to make
+// same-peer retransmissions spread across readers (reuseport pins a 4-tuple
+// to one socket, the fallback does not).
+var disableReusePort bool
+
 // Serve starts UDP and TCP listeners on the given addresses (use
-// "127.0.0.1:0" to pick free ports) and a pool of srv.Opts.NFSDs worker
-// goroutines. It widens the core's cache lock striping for concurrent
+// "127.0.0.1:0" to pick free ports), a pool of srv.Opts.NFSDs worker
+// goroutines, and srv.Opts.Readers sharded UDP ingest readers (0 picks
+// GOMAXPROCS, clamped to the worker count so no ring can be left without a
+// drainer). It widens the core's cache lock striping for concurrent
 // dispatch, so the server should not also be serving simulator traffic.
 func Serve(srv *server.Server, udpAddr, tcpAddr string) (*Server, error) {
-	ua, err := net.ResolveUDPAddr("udp", udpAddr)
-	if err != nil {
-		return nil, err
-	}
-	uc, err := net.ListenUDP("udp", ua)
-	if err != nil {
-		return nil, err
-	}
-	tl, err := net.Listen("tcp", tcpAddr)
-	if err != nil {
-		uc.Close()
-		return nil, err
-	}
 	srv.EnableConcurrentDispatch()
 	nfsds := srv.Opts.NFSDs
 	if nfsds < 1 {
 		nfsds = 1
 	}
+	nreaders := srv.Opts.Readers
+	if nreaders <= 0 {
+		nreaders = runtime.GOMAXPROCS(0)
+	}
+	if nreaders > nfsds {
+		nreaders = nfsds
+	}
+
+	// Socket strategy: one owned socket per reader where the platform can
+	// bind several to the port, otherwise one socket shared by every reader.
+	var socks []*net.UDPConn
+	reuse := false
+	if nreaders > 1 && reusePortSupported() && !disableReusePort {
+		if cs, err := listenReusePort(udpAddr, nreaders); err == nil {
+			socks, reuse = cs, true
+		}
+	}
+	if socks == nil {
+		ua, err := net.ResolveUDPAddr("udp", udpAddr)
+		if err != nil {
+			return nil, err
+		}
+		uc, err := net.ListenUDP("udp", ua)
+		if err != nil {
+			return nil, err
+		}
+		socks = []*net.UDPConn{uc}
+	}
+	tl, err := net.Listen("tcp", tcpAddr)
+	if err != nil {
+		for _, c := range socks {
+			c.Close()
+		}
+		return nil, err
+	}
 	s := &Server{
 		srv:    srv,
-		udp:    uc,
+		socks:  socks,
+		reuse:  reuse,
 		tcp:    tl,
-		jobs:   make(chan udpJob, 4*nfsds),
 		closed: make(chan struct{}),
 		conns:  make(map[net.Conn]struct{}),
 		busy:   srv.Metrics.Gauge("rpc.nfsd.busy"),
 		stages: metrics.NewStageStats(srv.Metrics, metrics.DefaultSlowSpans),
 	}
+	srv.Metrics.Counter("rpc.readers").Store(int64(nreaders))
+	if reuse {
+		srv.Metrics.Counter("rpc.reader.reuseport").Store(1)
+	}
+	for i := 0; i < nreaders; i++ {
+		conn := socks[0]
+		if reuse {
+			conn = socks[i]
+		}
+		// Ring sizing (DESIGN.md §3.3): a few slots per draining worker —
+		// enough to ride out dispatch jitter, small enough that queueing
+		// delay stays visible in the queue-stage histogram instead of
+		// hiding requests in deep buffers.
+		drainers := nfsds / nreaders
+		if i < nfsds%nreaders {
+			drainers++
+		}
+		slots := ringPerNfsd * drainers
+		if slots < ringMinSlots {
+			slots = ringMinSlots
+		}
+		s.readers = append(s.readers, &udpReader{
+			id:      i,
+			conn:    conn,
+			ring:    make(chan udpJob, slots),
+			reads:   srv.Metrics.Counter(fmt.Sprintf("rpc.reader.%d.reads", i)),
+			wakeups: srv.Metrics.Counter(fmt.Sprintf("rpc.reader.%d.wakeups", i)),
+		})
+	}
 	for i := 0; i < nfsds; i++ {
 		s.workerWG.Add(1)
 		go s.nfsd(i)
 	}
-	s.readerWG.Add(1)
-	go s.serveUDP()
+	for _, r := range s.readers {
+		s.readerWG.Add(1)
+		go s.readUDP(r)
+	}
 	s.acceptWG.Add(1)
 	go s.serveTCP()
 	return s, nil
@@ -148,24 +251,36 @@ func (s *Server) PublishStats() {
 // concurrently with request handling, without the kernel lock.
 func (s *Server) Core() *server.Server { return s.srv }
 
-// UDPAddr returns the bound UDP address.
-func (s *Server) UDPAddr() string { return s.udp.LocalAddr().String() }
+// UDPAddr returns the bound UDP address (under reuseport every ingest
+// socket is bound to the same one).
+func (s *Server) UDPAddr() string { return s.socks[0].LocalAddr().String() }
+
+// Readers returns the ingest shard count.
+func (s *Server) Readers() int { return len(s.readers) }
+
+// ReusePort reports whether each reader owns a SO_REUSEPORT socket (false:
+// all readers share one socket).
+func (s *Server) ReusePort() bool { return s.reuse }
 
 // TCPAddr returns the bound TCP address.
 func (s *Server) TCPAddr() string { return s.tcp.Addr().String() }
 
-// Close shuts the frontends down gracefully: no queued request loses its
-// reply, and no serving goroutine is leaked. The UDP reader is kicked out
-// of its blocking read by a deadline (the socket stays open so the worker
-// pool can still send replies), the pool drains the queue, and each TCP
-// connection finishes the record it is serving before its reader is kicked
-// the same way. Idempotent.
+// Close shuts the frontends down gracefully: no ring-resident request
+// loses its reply, and no serving goroutine is leaked. The drain order is
+// readers first (each is kicked out of its blocking read by a deadline and
+// closes its ring on exit; the sockets stay open so the worker pool can
+// still send replies), then the pool (which drains every ring to the
+// close), then the acceptor and each TCP connection, and only then are the
+// UDP sockets closed. Idempotent.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		close(s.closed)
-		s.udp.SetReadDeadline(time.Now())
-		s.readerWG.Wait() // reader exits, closing the jobs channel
-		s.workerWG.Wait() // pool drains queued requests, replies sent
+		now := time.Now()
+		for _, c := range s.socks {
+			c.SetReadDeadline(now)
+		}
+		s.readerWG.Wait() // readers exit, closing their rings
+		s.workerWG.Wait() // pool drains ring-resident requests, replies sent
 		s.tcp.Close()
 		s.acceptWG.Wait()
 		s.connMu.Lock()
@@ -174,8 +289,21 @@ func (s *Server) Close() {
 		}
 		s.connMu.Unlock()
 		s.connWG.Wait()
-		s.udp.Close()
+		for _, c := range s.socks {
+			c.Close()
+		}
 	})
+}
+
+// closing reports whether Close has begun (readers poll it when a read
+// errors out).
+func (s *Server) closing() bool {
+	select {
+	case <-s.closed:
+		return true
+	default:
+		return false
+	}
 }
 
 // dispatch runs one request (which the callee consumes) through the core
@@ -218,41 +346,73 @@ func (s *Server) Crash() {
 	s.srv.Crash()
 }
 
-// serveUDP is the single socket reader: it moves each datagram into pooled
-// mbufs and queues it for the nfsd pool, the way the BSD network interrupt
-// handed mbuf chains to sleeping nfsds.
-func (s *Server) serveUDP() {
+// readUDP is one sharded socket reader: it moves each datagram into pooled
+// mbufs (drawn from a per-reader batch cache) and queues it on its ring for
+// the nfsd pool, the way the BSD network interrupt handed mbuf chains to
+// sleeping nfsds. A reader that owns its socket (reuseport) drains the
+// kernel backlog in batches per wakeup; readers sharing one socket take
+// plain blocking reads — they pipeline mbuf staging against the
+// descriptor's read lock but must leave the shared deadline alone.
+func (s *Server) readUDP(r *udpReader) {
 	defer s.readerWG.Done()
-	defer close(s.jobs)
+	defer close(r.ring)
+	owned := s.reuse
+	var cache mbuf.Cache
+	defer cache.Drain()
 	buf := make([]byte, 65536)
 	for {
-		n, addr, err := s.udp.ReadFromUDP(buf)
+		// Checked on the success path too: under a continuous flood reads
+		// never fail, and a reader that only noticed Close through read
+		// errors would stage forever while Close waits on it.
+		if s.closing() {
+			return
+		}
+		if owned {
+			r.conn.SetReadDeadline(time.Now().Add(readerPoll))
+		}
+		n, addr, err := r.conn.ReadFromUDP(buf)
 		if err != nil {
-			select {
-			case <-s.closed:
+			if s.closing() {
 				return
-			default:
-				continue
+			}
+			continue
+		}
+		r.wakeups.Inc()
+		for batch := 0; ; {
+			t0 := time.Now()
+			req := cache.FromBytes(buf[:n])
+			r.reads.Inc()
+			r.ring <- udpJob{addr: addr, req: req, t0: t0, readNS: int64(time.Since(t0))}
+			batch++
+			if !owned || batch >= maxBatch {
+				break
+			}
+			// Drain what the kernel already queued behind this wakeup. The
+			// short deadline bounds the wait for an empty queue; a datagram
+			// arriving inside it is simply taken early.
+			r.conn.SetReadDeadline(time.Now().Add(batchPoll))
+			if n, addr, err = r.conn.ReadFromUDP(buf); err != nil {
+				break
 			}
 		}
-		t0 := time.Now()
-		req := mbuf.FromBytes(buf[:n])
-		s.jobs <- udpJob{addr: addr, req: req, t0: t0, readNS: int64(time.Since(t0))}
 	}
 }
 
-// nfsd is one worker of the dispatch pool. Its per-worker counters
-// (rpc.nfsd.<id>.calls, rpc.nfsd.<id>.busy_us) expose how evenly the queue
-// spreads load, and the shared rpc.nfsd.busy gauge the pool's utilization.
+// nfsd is one worker of the dispatch pool, permanently attached to the
+// ingest ring of reader id%len(readers) (replies leave on that shard's
+// socket). Its per-worker counters (rpc.nfsd.<id>.calls,
+// rpc.nfsd.<id>.busy_us) expose how evenly the rings spread load, and the
+// shared rpc.nfsd.busy gauge the pool's utilization.
 func (s *Server) nfsd(id int) {
 	defer s.workerWG.Done()
+	r := s.readers[id%len(s.readers)]
 	calls := s.srv.Metrics.Counter(fmt.Sprintf("rpc.nfsd.%d.calls", id))
 	busyUS := s.srv.Metrics.Counter(fmt.Sprintf("rpc.nfsd.%d.busy_us", id))
 	// One span per worker, reused for every request: a per-iteration span
 	// would escape to the heap through the cross-package call chain and
 	// cost an allocation per RPC (Record copies by value, never retains).
 	var sp metrics.Span
-	for job := range s.jobs {
+	for job := range r.ring {
 		start := time.Now()
 		sp.Reset(job.t0)
 		sp.Worker = int32(id)
@@ -264,7 +424,7 @@ func (s *Server) nfsd(id int) {
 		busyUS.Add(time.Since(start).Microseconds())
 		calls.Inc()
 		if rep != nil {
-			s.udp.WriteToUDP(rep, job.addr)
+			r.conn.WriteToUDP(rep, job.addr)
 			sp.Stamp(metrics.StageSend)
 		}
 		s.stages.Record(&sp)

@@ -1,0 +1,55 @@
+//go:build linux
+
+package nfsnet
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// soReusePort is Linux's SO_REUSEPORT (not exported by the syscall
+// package). With it set before bind, N UDP sockets share one port and the
+// kernel demultiplexes incoming datagrams across them by a hash of the
+// source/destination 4-tuple — the per-socket analogue of per-CPU NIC
+// receive queues, and the mechanism that lets each ingest reader own a
+// socket instead of contending on one descriptor's read lock.
+const soReusePort = 0xf
+
+// reusePortSupported reports that this platform can bind multiple sockets
+// to one UDP port.
+func reusePortSupported() bool { return true }
+
+// listenReusePort binds n UDP sockets to the same address (addr may carry
+// port 0: the port the first socket gets is reused for the rest). On error
+// every already-bound socket is closed.
+func listenReusePort(addr string, n int) ([]*net.UDPConn, error) {
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			if err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			}); err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	conns := make([]*net.UDPConn, 0, n)
+	bind := addr
+	for i := 0; i < n; i++ {
+		pc, err := lc.ListenPacket(context.Background(), "udp", bind)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, err
+		}
+		uc := pc.(*net.UDPConn)
+		conns = append(conns, uc)
+		if i == 0 {
+			bind = uc.LocalAddr().String()
+		}
+	}
+	return conns, nil
+}

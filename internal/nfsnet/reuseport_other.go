@@ -1,0 +1,18 @@
+//go:build !linux
+
+package nfsnet
+
+import (
+	"errors"
+	"net"
+)
+
+// reusePortSupported reports that this platform cannot (portably) bind
+// multiple sockets to one UDP port, so sharded ingest falls back to
+// multiple reader goroutines sharing a single socket.
+func reusePortSupported() bool { return false }
+
+// listenReusePort is unavailable off Linux.
+func listenReusePort(addr string, n int) ([]*net.UDPConn, error) {
+	return nil, errors.New("nfsnet: SO_REUSEPORT sharding unsupported on this platform")
+}

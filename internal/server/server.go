@@ -62,6 +62,12 @@ type Options struct {
 	DupCacheSize int
 	// NFSDs is the number of server daemons for the simulated frontends.
 	NFSDs int
+	// Readers is the number of sharded UDP ingest readers the real-socket
+	// frontend (internal/nfsnet) runs: each owns an SO_REUSEPORT socket
+	// where the platform supports it and feeds a bounded per-reader ring.
+	// 0 means one per GOMAXPROCS; nfsnet clamps the count to NFSDs so
+	// every ring has a drainer. The simulator ignores it.
+	Readers int
 	// Leases enables the NQNFS-style cache lease extension (procedures
 	// LEASE/VACATED) from the paper's Future Directions.
 	Leases bool
