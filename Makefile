@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race chaos fuzz-smoke vet bench bench-smoke profile scaling scaling-smoke
+.PHONY: build test race chaos fuzz-smoke vet bench bench-smoke profile scaling scaling-smoke fleet fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,21 @@ scaling:
 # as CI sets) fails rather than skips on a runner with fewer than 4 cores.
 scaling-smoke:
 	RENONFS_SCALING=1 $(GO) test -run TestScalingSmoke -v ./internal/nfsnet
+
+# Open-loop fleet rig (DESIGN.md §10): 10k simulated mounts sweeping
+# offered RPS for the latency-vs-load curve, then the hostile scenario
+# scripts (flash crowd, remount herd, retransmit storm) under the strict
+# exactly-once auditor. Writes BENCH_fleet.json; audit violations fail.
+fleet:
+	$(GO) run ./cmd/nfsbench -fleet -dur 3s
+
+# CI-sized fleet run: 1k simulated clients for 2s — exercises the SLO
+# parser, both curve and scenario paths, and exits nonzero if any scenario
+# breaks the exactly-once audit. No JSON artifact.
+fleet-smoke:
+	$(GO) run ./cmd/nfsbench -fleet -fleet-clients 1000 -fleet-shards 8 \
+		-fleet-rps 150,300 -dur 2s -fleet-slo p50=250ms,p99=2s,p999=5s,timeouts=0.25 \
+		-fleet-out ""
 
 # Profile a representative experiment run with pprof; start perf work here,
 # the way the paper's tuning started from kernel profiles. Alongside the

@@ -11,6 +11,8 @@
 //	nfsbench -clients 4 -mutexprofile mutex.pprof -blockprofile block.pprof
 //	nfsbench -clients 4             # real-socket load: 4 concurrent clients
 //	nfsbench -scaling               # 1/2/4/8-client curve -> BENCH_scaling.json
+//	nfsbench -fleet                 # open-loop 10k-client rig -> BENCH_fleet.json
+//	nfsbench -fleet -fleet-real -fleet-clients 1000   # same, over real sockets
 //
 // Output is plain text, one table per experiment, in the same shape as the
 // paper's tables/graph data. EXPERIMENTS.md records how each compares to
@@ -23,10 +25,19 @@
 // measure how the parallel nfsd worker pool scales with offered
 // concurrency. -scaling sweeps GOMAXPROCS 1/2/4/8 × 1/2/4/8 clients and
 // records the curves — with per-stage p99 breakdowns — in
-// BENCH_scaling.json (`make scaling` wraps this). -trace FILE dumps the
-// slowest spans of the last point as Chrome trace JSON, and
-// -mutexprofile/-blockprofile enable the Go runtime's contention profilers
-// (the lock-serialization view `make profile` starts from).
+// BENCH_scaling.json (`make scaling` wraps this). Each point runs -warmup
+// of unmeasured traffic first; ops/s and the stage percentiles cover only
+// the measurement window. -trace FILE dumps the slowest spans of the last
+// point as Chrome trace JSON, and -mutexprofile/-blockprofile enable the
+// Go runtime's contention profilers (the lock-serialization view
+// `make profile` starts from).
+//
+// -fleet is the open-loop load rig (internal/fleet, DESIGN.md §10): it
+// sweeps -fleet-rps to produce the latency-vs-offered-load curve, replays
+// the -fleet-scenarios hostile scripts under the strict exactly-once
+// auditor, and records everything in BENCH_fleet.json (`make fleet`;
+// `make fleet-smoke` is the CI-sized run). Scenario audit violations exit
+// nonzero; SLO misses on curve points are reported but don't fail the run.
 package main
 
 import (
@@ -38,6 +49,7 @@ import (
 	"time"
 
 	"renonfs"
+	"renonfs/internal/fleet"
 )
 
 func main() {
@@ -52,13 +64,57 @@ func main() {
 		scaling    = flag.Bool("scaling", false, "real-socket mode: 1/2/4/8-client scaling curve")
 		nfsds      = flag.Int("nfsds", 8, "size of the nfsd worker pool in the real-socket modes")
 		readers    = flag.Int("readers", 0, "sharded UDP ingest readers in -clients mode (0 = one per GOMAXPROCS; -scaling sweeps 1 and GOMAXPROCS itself)")
-		dur        = flag.Duration("dur", 2*time.Second, "per-point measurement duration in the real-socket modes")
+		dur        = flag.Duration("dur", 2*time.Second, "per-point measurement duration in the real-socket and fleet modes")
+		warmup     = flag.Duration("warmup", 500*time.Millisecond, "per-point warmup excluded from ops/s and percentiles (real-socket and fleet modes)")
 		scalingOut = flag.String("scaling-out", "BENCH_scaling.json", "where -scaling writes its JSON curve (empty: don't write)")
 		tracePath  = flag.String("trace", "", "write the slowest spans as Chrome trace JSON to this file (socket modes)")
 		mutexProf  = flag.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
 		blockProf  = flag.String("blockprofile", "", "write a blocking profile to this file on exit")
+
+		fleetMode      = flag.Bool("fleet", false, "open-loop fleet mode: latency-vs-offered-load curve plus hostile scenarios")
+		fleetClients   = flag.Int("fleet-clients", 10000, "simulated mounts in -fleet mode")
+		fleetShards    = flag.Int("fleet-shards", 16, "sockets/timing wheels the fleet is split across")
+		fleetRPS       = flag.String("fleet-rps", "150,250,350,500,750,1000,2000", "comma list of offered aggregate RPS (the load curve's x axis)")
+		fleetScenarios = flag.String("fleet-scenarios", "flashcrowd,remountherd,retransmitstorm", "comma list of hostile scenario scripts (empty: curve only)")
+		fleetReal      = flag.Bool("fleet-real", false, "drive real UDP sockets (internal/nfsnet) instead of the simulator")
+		fleetStrict    = flag.Bool("fleet-strict", true, "strict exactly-once audit; violations exit 1")
+		fleetTimeout   = flag.Duration("fleet-timeout", time.Second, "pending-call expiry in -fleet mode")
+		fleetSLO       = flag.String("fleet-slo", "", "SLO spec, e.g. p50=5ms,p99=50ms,p999=250ms,timeouts=0.01 (empty: knee-finding defaults)")
+		fleetOut       = flag.String("fleet-out", "BENCH_fleet.json", "where -fleet writes its JSON report (empty: don't write)")
 	)
 	flag.Parse()
+
+	fatalf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "nfsbench: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	// Mode flags are mutually exclusive, and shared knobs must be sane, so a
+	// typo'd invocation dies with a message instead of measuring the wrong
+	// thing.
+	modes := 0
+	for _, on := range []bool{*fleetMode, *scaling, *clients > 0} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fatalf("-fleet, -scaling and -clients are mutually exclusive (pick one mode)")
+	}
+	if *clients < 0 {
+		fatalf("-clients %d: must be >= 0", *clients)
+	}
+	if *readers < 0 {
+		fatalf("-readers %d: must be >= 0", *readers)
+	}
+	if *nfsds <= 0 {
+		fatalf("-nfsds %d: must be > 0", *nfsds)
+	}
+	if *dur <= 0 {
+		fatalf("-dur %v: must be > 0", *dur)
+	}
+	if *warmup < 0 {
+		fatalf("-warmup %v: must be >= 0", *warmup)
+	}
 
 	if *mutexProf != "" {
 		runtime.SetMutexProfileFraction(1)
@@ -69,12 +125,46 @@ func main() {
 		defer writeProfile("block", *blockProf)
 	}
 
+	if *fleetMode {
+		if *fleetClients <= 0 {
+			fatalf("-fleet-clients %d: must be > 0", *fleetClients)
+		}
+		if *fleetShards <= 0 {
+			fatalf("-fleet-shards %d: must be > 0", *fleetShards)
+		}
+		if *fleetTimeout <= 0 {
+			fatalf("-fleet-timeout %v: must be > 0", *fleetTimeout)
+		}
+		rates, err := parseFleetRPS(*fleetRPS)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		kinds, err := parseFleetScenarios(*fleetScenarios)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		slo, err := fleet.ParseSLO(*fleetSLO)
+		if err != nil {
+			fatalf("-fleet-slo: %v", err)
+		}
+		ok := runFleet(fleetOpts{
+			clients: *fleetClients, shards: *fleetShards,
+			rps: rates, scenarios: kinds,
+			real: *fleetReal, strict: *fleetStrict, seed: *seed,
+			warmup: *warmup, horizon: *dur, timeout: *fleetTimeout,
+			slo: slo, sloSpec: *fleetSLO, out: *fleetOut,
+		})
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 	if *scaling {
-		runScaling(*nfsds, *dur, *scalingOut, *tracePath)
+		runScaling(*nfsds, *warmup, *dur, *scalingOut, *tracePath)
 		return
 	}
 	if *clients > 0 {
-		runClients(*clients, *nfsds, *readers, *dur, *tracePath)
+		runClients(*clients, *nfsds, *readers, *warmup, *dur, *tracePath)
 		return
 	}
 

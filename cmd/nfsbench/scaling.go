@@ -69,8 +69,11 @@ type pointResult struct {
 
 // measureClients runs one point: n concurrent UDP clients against a fresh
 // real-socket server with the given ingest reader count, each looping
-// READ(8K)+LOOKUP for dur.
-func measureClients(n, nfsds, readers int, dur time.Duration) (*pointResult, error) {
+// READ(8K)+LOOKUP for warmup+dur. Only the final dur is measured: ops
+// completed during warmup are not counted toward ops/s, and the stage
+// histograms are reported as the delta over the measurement window, so
+// cold caches and socket setup never pollute the curve.
+func measureClients(n, nfsds, readers int, warmup, dur time.Duration) (*pointResult, error) {
 	fs := memfs.New(1, nil, nil)
 	opts := server.Reno()
 	opts.NFSDs = nfsds
@@ -101,7 +104,8 @@ func measureClients(n, nfsds, readers int, dur time.Duration) (*pointResult, err
 	var ops atomic.Int64
 	errc := make(chan error, n)
 	var wg sync.WaitGroup
-	stop := time.Now().Add(dur)
+	measStart := time.Now().Add(warmup)
+	stop := measStart.Add(dur)
 	for c := 0; c < n; c++ {
 		wg.Add(1)
 		go func() {
@@ -112,7 +116,11 @@ func measureClients(n, nfsds, readers int, dur time.Duration) (*pointResult, err
 				return
 			}
 			defer cl.Close()
-			for time.Now().Before(stop) {
+			for {
+				now := time.Now()
+				if !now.Before(stop) {
+					return
+				}
 				if _, err := cl.Read(cr.File, 0, nfsproto.MaxData); err != nil {
 					errc <- fmt.Errorf("read: %w", err)
 					return
@@ -121,10 +129,19 @@ func measureClients(n, nfsds, readers int, dur time.Duration) (*pointResult, err
 					errc <- fmt.Errorf("lookup: %w", err)
 					return
 				}
-				ops.Add(2)
+				// Warmup ops run but are never counted.
+				if now.After(measStart) {
+					ops.Add(2)
+				}
 			}
 		}()
 	}
+	// Baseline snapshot at the start of the measurement window; the stage
+	// percentiles below come from the delta, not the whole run.
+	if d := time.Until(measStart); d > 0 {
+		time.Sleep(d)
+	}
+	baseline := srv.Metrics.Snapshot()
 	wg.Wait()
 	select {
 	case err := <-errc:
@@ -136,7 +153,7 @@ func measureClients(n, nfsds, readers int, dur time.Duration) (*pointResult, err
 		stageP99: map[string]float64{},
 		spans:    s.Stages().Ring().Slowest(),
 	}
-	snap := srv.Metrics.Snapshot()
+	snap := srv.Metrics.Snapshot().Delta(baseline)
 	names := metrics.StageNames()
 	for _, st := range append(names[:], "total") {
 		if h, ok := snap.Histograms["rpc.stage."+st+".us"]; ok && h.Count > 0 {
@@ -151,8 +168,8 @@ func measureClients(n, nfsds, readers int, dur time.Duration) (*pointResult, err
 
 // runClients serves the -clients N mode: one point, printed with its stage
 // breakdown; with tracePath the slowest spans dump as Chrome trace JSON.
-func runClients(n, nfsds, readers int, dur time.Duration, tracePath string) {
-	res, err := measureClients(n, nfsds, readers, dur)
+func runClients(n, nfsds, readers int, warmup, dur time.Duration, tracePath string) {
+	res, err := measureClients(n, nfsds, readers, warmup, dur)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nfsbench: -clients: %v\n", err)
 		os.Exit(1)
@@ -161,8 +178,8 @@ func runClients(n, nfsds, readers int, dur time.Duration, tracePath string) {
 	if readers == 0 {
 		rdesc = fmt.Sprintf("%d reader(s) [GOMAXPROCS]", runtime.GOMAXPROCS(0))
 	}
-	fmt.Printf("%d client(s) x %v against %d nfsds, %s: %.0f ops/s (READ 8K + LOOKUP)\n",
-		n, dur, nfsds, rdesc, res.opsPerS)
+	fmt.Printf("%d client(s) x %v (+%v warmup) against %d nfsds, %s: %.0f ops/s (READ 8K + LOOKUP)\n",
+		n, dur, warmup, nfsds, rdesc, res.opsPerS)
 	printStageP99(res)
 	writeTrace(tracePath, res.spans)
 }
@@ -205,7 +222,7 @@ func writeTrace(path string, spans []metrics.Span) {
 // the machine's cores still run (the OS just time-slices) so the record is
 // comparable across hosts, but the report carries NumCPU so consumers know
 // whether parallel speedup was physically possible.
-func runScaling(nfsds int, dur time.Duration, out, tracePath string) {
+func runScaling(nfsds int, warmup, dur time.Duration, out, tracePath string) {
 	prev := runtime.GOMAXPROCS(0)
 	defer runtime.GOMAXPROCS(prev)
 	ncpu := runtime.NumCPU()
@@ -233,7 +250,7 @@ func runScaling(nfsds int, dur time.Duration, out, tracePath string) {
 			run := scalingRun{GOMAXPROCS: procs, Readers: readers}
 			var base float64
 			for _, n := range []int{1, 2, 4, 8} {
-				res, err := measureClients(n, nfsds, readers, dur)
+				res, err := measureClients(n, nfsds, readers, warmup, dur)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "nfsbench: -scaling (%d procs, %d readers, %d clients): %v\n",
 						procs, readers, n, err)

@@ -1,0 +1,64 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestScenarioFingerprintDeterministic mirrors faultplan's
+// TestGenerateDeterministic: the scenario schedule is a pure function of
+// (kind, seed, horizon), so the same inputs must render — and hash — to
+// the same script, and a different seed must not.
+func TestScenarioFingerprintDeterministic(t *testing.T) {
+	for _, name := range Kinds() {
+		kind, err := ParseKind(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := GenerateScenario(kind, 42, 5*time.Second)
+		b := GenerateScenario(kind, 42, 5*time.Second)
+		if a.String() != b.String() {
+			t.Errorf("%s: same seed, different schedules:\n  %s\n  %s", name, a, b)
+		}
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Errorf("%s: same seed, different fingerprints", name)
+		}
+		c := GenerateScenario(kind, 43, 5*time.Second)
+		if a.Fingerprint() == c.Fingerprint() {
+			t.Errorf("%s: seeds 42 and 43 collided on %s", name, a.Fingerprint())
+		}
+	}
+}
+
+// TestRunSimDeterministic: the whole run — not just the schedule — must be
+// a pure function of the config in the simulator. Two runs must agree on
+// every call total and every auditor tally (Result.Fingerprint covers
+// both), for a hostile scenario with crashes, remounts and storms.
+func TestRunSimDeterministic(t *testing.T) {
+	cfg := Config{Seed: 99, Clients: 300, Shards: 4, OfferedRPS: 300,
+		Warmup: 300 * time.Millisecond, Horizon: 2 * time.Second,
+		Timeout: time.Second, Strict: true,
+		Scenario: GenerateScenario(RemountHerd, 99, 2*time.Second)}
+	a, err := RunSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("same config, different fingerprints: %s vs %s\n a: sent=%d replies=%d timeouts=%d\n b: sent=%d replies=%d timeouts=%d",
+			a.Fingerprint(), b.Fingerprint(), a.Sent, a.Replies, a.Timeouts, b.Sent, b.Replies, b.Timeouts)
+	}
+	// And a different seed must actually change the run.
+	cfg.Seed = 100
+	cfg.Scenario = GenerateScenario(RemountHerd, 100, 2*time.Second)
+	c, err := RunSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("seeds 99 and 100 produced identical runs")
+	}
+}

@@ -1,0 +1,833 @@
+// Package fleet is the open-loop load rig: thousands of compact client
+// state machines driven at a configured offered RPS against the simulated
+// server (RunSim) or the real-socket frontend (RunSock), producing
+// latency-vs-offered-load curves with p50/p99/p999 and SLO verdicts.
+//
+// Open loop means the send schedule never waits for replies: each client's
+// next send is drawn from an exponential interarrival at the offered rate,
+// fired by a per-shard timing wheel, and a late reply is recorded when it
+// arrives (or the call is swept as a timeout) rather than blocking the
+// schedule. Latency is measured from the *scheduled* send time, so a
+// server that stalls accumulates the queueing delay in the tail instead of
+// silently shedding offered load — the coordinated-omission correction the
+// nanoPU paper argues closed-loop rigs get wrong (DESIGN.md §10).
+//
+// There is no goroutine or sim process per client. A shard owns one
+// socket, one timing wheel, one pending-call table and a few thousand
+// 16-byte client states; the whole 10k-mount fleet is a dozen shards. XIDs
+// encode (client id << xidSeqBits | seq), so every call in flight is
+// attributable to its client and unique fleet-wide.
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"renonfs/internal/check"
+	"renonfs/internal/mbuf"
+	"renonfs/internal/memfs"
+	"renonfs/internal/metrics"
+	"renonfs/internal/nfsproto"
+	"renonfs/internal/rpc"
+	"renonfs/internal/workload"
+	"renonfs/internal/xdr"
+)
+
+// Config parameterizes one fleet run (one point of a load curve).
+type Config struct {
+	Seed    int64
+	Clients int // simulated mounts (>= 10k supported; default 1000)
+	Shards  int // sockets/wheels the clients are split across (default 8)
+	// OfferedRPS is the aggregate open-loop send rate across the fleet.
+	OfferedRPS float64
+	Warmup     time.Duration // excluded from every reported number
+	Horizon    time.Duration // measured window
+	Timeout    time.Duration // pending call expiry (default 5s)
+	Scenario   *Scenario     // nil means steady load
+	Files      int           // preloaded shared files (default 64)
+	// Strict turns on the auditor's exactly-once rule (duplicate sends
+	// must never execute a non-idempotent procedure twice).
+	Strict bool
+
+	// Server shape.
+	NFSDs        int     // worker pool size (default 16)
+	DupCacheSize int     // default 4096 (strict runs must not evict mid-run)
+	ServerMIPS   float64 // sim engine server CPU (default 40 — a late-era server)
+
+	// Real-socket engine only.
+	Readers     int  // sharded ingest readers (0: GOMAXPROCS)
+	NoReusePort bool // force shared-socket ingest so retransmits cross readers
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clients <= 0 {
+		c.Clients = 1000
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.Shards > c.Clients {
+		c.Shards = c.Clients
+	}
+	if c.OfferedRPS <= 0 {
+		c.OfferedRPS = 500
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 10 * time.Second
+	}
+	if c.Warmup < 0 {
+		c.Warmup = 0
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.Files <= 0 {
+		c.Files = 64
+	}
+	if c.NFSDs <= 0 {
+		c.NFSDs = 16
+	}
+	if c.DupCacheSize <= 0 {
+		c.DupCacheSize = 4096
+	}
+	if c.ServerMIPS <= 0 {
+		c.ServerMIPS = 40
+	}
+	if c.Scenario == nil {
+		c.Scenario = GenerateScenario(Steady, c.Seed, c.Horizon)
+	}
+	return c
+}
+
+// Timing-wheel shape: 1 ms ticks, 4096 slots (~4 s per revolution).
+const (
+	wheelGran  = time.Millisecond
+	wheelSlots = 1 << 12
+)
+
+// XID layout: client id in the high bits, per-client sequence below. 18 id
+// bits carry 256k clients; 14 sequence bits wrap at 16k calls per client,
+// far beyond what can be in flight at once.
+const xidSeqBits = 14
+
+// Tenant indexes into the mix table (and Scenario.TenantWeights).
+const (
+	tenantNhfsstone = iota
+	tenantAndrew
+	tenantCreateDelete
+	numTenants
+)
+
+// clientState is one simulated mount: 16 bytes, no pointers, so 10k mounts
+// are 160 KB in one slice — the per-client compaction the ROADMAP calls
+// out as the prerequisite for fleet scale.
+type clientState struct {
+	rng    uint64 // xorshift64 state (never zero)
+	seq    uint32 // next call sequence (xid low bits)
+	file   uint16 // index into the preloaded shared files
+	tenant uint8
+	flags  uint8
+}
+
+const (
+	flagWAN     = 1 << iota // behind the serial hop: header-only ops
+	flagTemp                // this client's temp file exists (create/remove churn)
+	flagRemount             // next fire re-issues MNT+LOOKUP (thundering herd)
+)
+
+// splitmix64 seeds per-client xorshift states from (seed, id) — every
+// client's stream is independent and reproducible.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func xorshift64(s *uint64) uint64 {
+	x := *s
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*s = x
+	return x
+}
+
+// randF returns a uniform float64 in [0,1).
+func randF(s *uint64) float64 { return float64(xorshift64(s)>>11) / (1 << 53) }
+
+// pendingCall tracks one in-flight RPC: when its send was *scheduled*
+// (time since run start — the coordinated-omission-safe latency origin)
+// and the procedure, for the auditor's failure events.
+type pendingCall struct {
+	at   time.Duration
+	proc uint32
+}
+
+// compiledMix is a cumulative-probability table over sorted procedures, so
+// one uniform draw picks an operation deterministically.
+type compiledMix struct {
+	procs []uint32
+	cum   []float64
+}
+
+func compileMix(m map[uint32]float64) compiledMix {
+	procs := make([]uint32, 0, len(m))
+	for p := range m {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	cum := make([]float64, len(procs))
+	total := 0.0
+	for i, p := range procs {
+		total += m[p]
+		cum[i] = total
+	}
+	// Normalize so the last bucket always catches the draw.
+	for i := range cum {
+		cum[i] /= total
+	}
+	return compiledMix{procs: procs, cum: cum}
+}
+
+func (cm compiledMix) pick(u float64) uint32 {
+	for i, c := range cm.cum {
+		if u < c {
+			return cm.procs[i]
+		}
+	}
+	return cm.procs[len(cm.procs)-1]
+}
+
+// procMount is the out-of-band "procedure" for MOUNT MNT calls in pending
+// tables and auditor events (real NFS procs stop at NumProcsExt).
+const procMount = uint32(0xff)
+
+// shard owns one socket's worth of clients: their states, the timing
+// wheel that fires them, the pending-call table that demuxes replies by
+// xid, and the counters/histogram for its slice of the fleet. mu guards
+// everything below it in the real-socket engine (sender and receiver
+// goroutines); the simulator is single-threaded and pays only uncontended
+// locks.
+type shard struct {
+	id   int
+	base int // global client id of clients[0]
+	wan  bool
+
+	mu      sync.Mutex
+	clients []clientState
+	wheel   *wheel
+	pending map[uint32]pendingCall
+	due     []uint32 // advance() scratch
+
+	rate      float64 // per-client sends/sec (scenario rate steps scale it)
+	baseRate  float64
+	stormDups int // >0: non-idempotent sends are duplicated this many times
+
+	// Measured window in run time: a call belongs to the window iff its
+	// *scheduled* send time falls inside it, so warmup traffic never
+	// pollutes the reported numbers even when its replies land later.
+	winStart, winEnd time.Duration
+
+	hist   *metrics.Histogram // reply latency, measured window only (ms)
+	tracer metrics.Tracer     // auditor source "fleet<id>"
+
+	// Counters: whole-run totals (conservation) and measured-window slices
+	// (rates and verdicts). "late" are replies that arrived after their
+	// call was swept as a timeout — recorded, never waited on.
+	sent, replies, timeouts, errors, late int64
+	wSent, wReplies, wTimeouts, wErrors   int64
+	mounts                                int64
+}
+
+// fleetState is everything the engines share: shards, preloaded handles,
+// compiled mixes, and the measurement window.
+type fleetState struct {
+	cfg    Config
+	shards []*shard
+	mixes  [numTenants]compiledMix
+	wanMix compiledMix
+	pre    *preload
+
+	winStart, winEnd time.Duration // measured window in run time
+}
+
+// newFleetState builds the shard/client structures deterministically from
+// the config: tenants drawn from the scenario's weights per client,
+// trailing shards placed on the WAN per WANPerMille.
+func newFleetState(cfg Config, aud *check.Auditor, pre *preload) *fleetState {
+	fs := &fleetState{
+		cfg: cfg, pre: pre,
+		winStart: cfg.Warmup, winEnd: cfg.Warmup + cfg.Horizon,
+	}
+	fs.mixes[tenantNhfsstone] = compileMix(workload.FullMix())
+	fs.mixes[tenantAndrew] = compileMix(workload.AndrewMix())
+	fs.mixes[tenantCreateDelete] = compileMix(workload.CreateDeleteMix())
+	fs.wanMix = compileMix(map[uint32]float64{
+		nfsproto.ProcLookup: 0.6, nfsproto.ProcGetattr: 0.4,
+	})
+	sc := cfg.Scenario
+	wsum := sc.TenantWeights[0] + sc.TenantWeights[1] + sc.TenantWeights[2]
+	if wsum <= 0 {
+		wsum = 1
+		sc = &Scenario{TenantWeights: [3]int{1, 0, 0}}
+	}
+	wanShards := cfg.Shards * cfg.Scenario.WANPerMille / 1000
+	perClientRate := cfg.OfferedRPS / float64(cfg.Clients)
+	per := cfg.Clients / cfg.Shards
+	extra := cfg.Clients % cfg.Shards
+	base := 0
+	for i := 0; i < cfg.Shards; i++ {
+		n := per
+		if i < extra {
+			n++
+		}
+		sh := &shard{
+			id: i, base: base,
+			wan:     i >= cfg.Shards-wanShards,
+			clients: make([]clientState, n),
+			wheel:   newWheel(wheelSlots),
+			pending: make(map[uint32]pendingCall),
+			rate:    perClientRate, baseRate: perClientRate,
+			hist:     metrics.NewHistogram(),
+			winStart: fs.winStart, winEnd: fs.winEnd,
+		}
+		if aud != nil {
+			sh.tracer = aud.Tracer(fmt.Sprintf("fleet%d", i))
+		}
+		for c := range sh.clients {
+			id := base + c
+			st := &sh.clients[c]
+			st.rng = splitmix64(uint64(cfg.Seed) ^ (uint64(id)+1)*0x9e3779b97f4a7c15)
+			if st.rng == 0 {
+				st.rng = 1
+			}
+			w := int(xorshift64(&st.rng) % uint64(wsum))
+			switch {
+			case w < sc.TenantWeights[0]:
+				st.tenant = tenantNhfsstone
+			case w < sc.TenantWeights[0]+sc.TenantWeights[1]:
+				st.tenant = tenantAndrew
+			default:
+				st.tenant = tenantCreateDelete
+			}
+			st.file = uint16(xorshift64(&st.rng) % uint64(cfg.Files))
+			if sh.wan {
+				st.flags |= flagWAN
+			}
+			// Stagger initial sends across one mean interarrival.
+			sh.wheel.schedule(uint32(c), sh.delayTicks(st))
+		}
+		fs.shards = append(fs.shards, sh)
+		base += n
+	}
+	return fs
+}
+
+// delayTicks draws the client's next exponential interarrival in wheel
+// ticks, clamped so the wheel never sees a zero or absurd delay.
+func (sh *shard) delayTicks(st *clientState) uint32 {
+	mean := 1.0 / sh.rate // seconds
+	d := -math.Log(1-randF(&st.rng)) * mean
+	ticks := d * float64(time.Second/wheelGran)
+	if ticks < 1 {
+		ticks = 1
+	}
+	// An entry more than ~30 revolutions out costs 30 rescans — fine; cap
+	// only to keep uint32 arithmetic comfortable (~73 min at 1 ms ticks).
+	if ticks > float64(1<<22) {
+		ticks = float64(1 << 22)
+	}
+	return uint32(ticks)
+}
+
+// xidOf allocates the next xid for client (shard-local index ci).
+func (sh *shard) xidOf(ci int) uint32 {
+	st := &sh.clients[ci]
+	xid := uint32(sh.base+ci)<<xidSeqBits | (st.seq & (1<<xidSeqBits - 1))
+	st.seq++
+	return xid
+}
+
+// op is one wire call ready to send: dups > 1 means the client fires that
+// many identical datagrams back-to-back (retransmission storm).
+type op struct {
+	proc uint32
+	xid  uint32
+	wire *mbuf.Chain
+	dups int
+}
+
+// preload is the server-side fixture the fleet operates on: shared files,
+// symlink handles and the root, created directly in the FS before traffic
+// starts (no RPCs, so warmup measures the server, not the setup).
+type preload struct {
+	root   nfsproto.FH
+	files  []nfsproto.FH
+	links  []nfsproto.FH
+	names  []string // file names, index-aligned with files
+	buf512 []byte   // shared write payload
+}
+
+// preloadFS populates fs for a fleet run. It goes through the FS directly
+// (nil proc — the frontends do the same for real-socket traffic), so it
+// works identically for both engines.
+func preloadFS(fsys *memfs.FS, files int) (*preload, error) {
+	root := fsys.Root()
+	p := &preload{root: fsys.FH(root), buf512: make([]byte, 2048)}
+	for i := range p.buf512 {
+		p.buf512[i] = byte(i)
+	}
+	content := make([]byte, nfsproto.MaxData)
+	for i := range content {
+		content[i] = byte(i * 7)
+	}
+	for i := 0; i < files; i++ {
+		name := fmt.Sprintf("fl%04d", i)
+		n, err := fsys.Create(nil, root, name, 0644)
+		if err != nil {
+			return nil, fmt.Errorf("preload create %s: %w", name, err)
+		}
+		if err := fsys.WriteAt(nil, n, 0, content, 0); err != nil {
+			return nil, fmt.Errorf("preload write %s: %w", name, err)
+		}
+		p.files = append(p.files, fsys.FH(n))
+		p.names = append(p.names, name)
+	}
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("ln%d", i)
+		n, err := fsys.Symlink(nil, root, name, "fl0000", 0777)
+		if err != nil {
+			return nil, fmt.Errorf("preload symlink %s: %w", name, err)
+		}
+		p.links = append(p.links, fsys.FH(n))
+	}
+	return p, nil
+}
+
+// tempName is the per-client temp file for create/remove churn: unique per
+// client, so 10k mounts never collide on a name.
+func tempName(id int) string { return fmt.Sprintf("flt%05d", id) }
+
+// encodeNFS builds the wire chain of one NFS call.
+func encodeNFS(xid, proc uint32, enc func(e *xdr.Encoder)) *mbuf.Chain {
+	msg := &mbuf.Chain{}
+	rpc.EncodeCall(msg, &rpc.Call{XID: xid, Prog: nfsproto.Program,
+		Vers: nfsproto.Version, Proc: proc})
+	enc(xdr.NewEncoder(msg))
+	return msg
+}
+
+// encodeMount builds the wire chain of one MOUNT MNT call.
+func encodeMount(xid uint32) *mbuf.Chain {
+	msg := &mbuf.Chain{}
+	rpc.EncodeCall(msg, &rpc.Call{XID: xid, Prog: nfsproto.MountProgram,
+		Vers: nfsproto.MountVersion, Proc: nfsproto.MountProcMnt})
+	(&nfsproto.MntArgs{DirPath: "/"}).Encode(xdr.NewEncoder(msg))
+	return msg
+}
+
+// buildOps appends the client's next wire calls to ops (usually one; a
+// remounting client issues MNT+LOOKUP). Caller holds sh.mu.
+func (fs *fleetState) buildOps(sh *shard, ci int, ops []op) []op {
+	st := &sh.clients[ci]
+	pre := fs.pre
+	id := sh.base + ci
+
+	if st.flags&flagRemount != 0 {
+		st.flags &^= flagRemount
+		st.flags &^= flagTemp // volatile state died with the server
+		mx, lx := sh.xidOf(ci), sh.xidOf(ci)
+		dups := 1
+		if sh.stormDups > 1 {
+			dups = sh.stormDups
+		}
+		ops = append(ops,
+			op{proc: procMount, xid: mx, wire: encodeMount(mx), dups: dups},
+			op{proc: nfsproto.ProcLookup, xid: lx, dups: 1,
+				wire: encodeNFS(lx, nfsproto.ProcLookup, func(e *xdr.Encoder) {
+					(&nfsproto.DiropArgs{Dir: pre.root, Name: pre.names[st.file]}).Encode(e)
+				})})
+		return ops
+	}
+
+	var proc uint32
+	u := randF(&st.rng)
+	if st.flags&flagWAN != 0 {
+		proc = fs.wanMix.pick(u)
+	} else {
+		proc = fs.mixes[st.tenant].pick(u)
+	}
+	// Create/remove churn must alternate against the client's own temp
+	// file: remove-before-create is rewritten so the steady state is a
+	// create/remove cycle rather than a stream of ErrNoEnt.
+	if proc == nfsproto.ProcRemove && st.flags&flagTemp == 0 {
+		proc = nfsproto.ProcCreate
+	}
+	if proc == nfsproto.ProcCreate && st.flags&flagTemp != 0 {
+		proc = nfsproto.ProcRemove
+	}
+
+	xid := sh.xidOf(ci)
+	o := op{proc: proc, xid: xid, dups: 1}
+	if sh.stormDups > 1 && nonIdempotentProc(proc) {
+		o.dups = sh.stormDups
+	}
+	fh := pre.files[st.file]
+	switch proc {
+	case nfsproto.ProcGetattr:
+		o.wire = encodeNFS(xid, proc, func(e *xdr.Encoder) {
+			(&nfsproto.GetattrArgs{File: fh}).Encode(e)
+		})
+	case nfsproto.ProcSetattr:
+		o.wire = encodeNFS(xid, proc, func(e *xdr.Encoder) {
+			a := nfsproto.NewSattr()
+			a.Mode = 0644
+			(&nfsproto.SetattrArgs{File: fh, Attr: a}).Encode(e)
+		})
+	case nfsproto.ProcLookup:
+		o.wire = encodeNFS(xid, proc, func(e *xdr.Encoder) {
+			(&nfsproto.DiropArgs{Dir: pre.root, Name: pre.names[st.file]}).Encode(e)
+		})
+	case nfsproto.ProcReadlink:
+		lfh := pre.links[int(xorshift64(&st.rng)%uint64(len(pre.links)))]
+		o.wire = encodeNFS(xid, proc, func(e *xdr.Encoder) {
+			(&nfsproto.GetattrArgs{File: lfh}).Encode(e) // readlink args: bare FH
+		})
+	case nfsproto.ProcRead:
+		o.wire = encodeNFS(xid, proc, func(e *xdr.Encoder) {
+			(&nfsproto.ReadArgs{File: fh, Offset: 0, Count: nfsproto.MaxData}).Encode(e)
+		})
+	case nfsproto.ProcWrite:
+		o.wire = encodeNFS(xid, proc, func(e *xdr.Encoder) {
+			(&nfsproto.WriteArgs{File: fh, Offset: 0,
+				Data: mbuf.FromBytes(pre.buf512)}).Encode(e)
+		})
+	case nfsproto.ProcCreate:
+		st.flags |= flagTemp
+		o.wire = encodeNFS(xid, proc, func(e *xdr.Encoder) {
+			a := nfsproto.NewSattr()
+			a.Mode = 0644
+			(&nfsproto.CreateArgs{
+				Where: nfsproto.DiropArgs{Dir: pre.root, Name: tempName(id)},
+				Attr:  a}).Encode(e)
+		})
+	case nfsproto.ProcRemove:
+		st.flags &^= flagTemp
+		o.wire = encodeNFS(xid, proc, func(e *xdr.Encoder) {
+			(&nfsproto.DiropArgs{Dir: pre.root, Name: tempName(id)}).Encode(e)
+		})
+	case nfsproto.ProcReaddir:
+		o.wire = encodeNFS(xid, proc, func(e *xdr.Encoder) {
+			(&nfsproto.ReaddirArgs{Dir: pre.root, Count: 1024}).Encode(e)
+		})
+	case nfsproto.ProcStatfs:
+		o.wire = encodeNFS(xid, proc, func(e *xdr.Encoder) {
+			(&nfsproto.GetattrArgs{File: pre.root}).Encode(e) // statfs args: bare FH
+		})
+	default:
+		// Mix procedures are all handled above; guard against drift.
+		o.proc = nfsproto.ProcGetattr
+		o.wire = encodeNFS(xid, nfsproto.ProcGetattr, func(e *xdr.Encoder) {
+			(&nfsproto.GetattrArgs{File: fh}).Encode(e)
+		})
+	}
+	return append(ops, o)
+}
+
+// nonIdempotentProc mirrors the server's dupcache admission set.
+func nonIdempotentProc(p uint32) bool {
+	switch p {
+	case nfsproto.ProcSetattr, nfsproto.ProcCreate, nfsproto.ProcRemove,
+		nfsproto.ProcRename, nfsproto.ProcLink, nfsproto.ProcSymlink,
+		nfsproto.ProcMkdir, nfsproto.ProcRmdir:
+		return true
+	}
+	return false
+}
+
+// recordSend books one call (and its storm duplicates) before any datagram
+// leaves: the pending entry and the auditor's CallSent/Retransmit events
+// must exist before a reply can race in on the receiver. at is the
+// *scheduled* fire time. Caller holds sh.mu.
+func (sh *shard) recordSend(o op, at time.Duration) {
+	sh.pending[o.xid] = pendingCall{at: at, proc: o.proc}
+	sh.sent++
+	if at >= sh.winStart && at < sh.winEnd {
+		sh.wSent++
+	}
+	if o.proc == procMount {
+		sh.mounts++
+	}
+	metrics.Emit(sh.tracer, metrics.CallSent{Proc: o.proc, XID: o.xid})
+	for d := 1; d < o.dups; d++ {
+		metrics.Emit(sh.tracer, metrics.Retransmit{Proc: o.proc, XID: o.xid, Backoff: d})
+	}
+}
+
+// recordReply resolves a reply against the pending table. Window
+// membership is decided by when the call was scheduled. Caller holds
+// sh.mu.
+func (sh *shard) recordReply(xid uint32, now time.Duration, rpcErr bool) {
+	pc, ok := sh.pending[xid]
+	if !ok {
+		// Resolved already (timeout sweep) or never ours: a late reply is
+		// recorded, not waited on — the open-loop contract.
+		sh.late++
+		return
+	}
+	delete(sh.pending, xid)
+	sh.replies++
+	lat := now - pc.at
+	inWin := pc.at >= sh.winStart && pc.at < sh.winEnd
+	if inWin {
+		sh.wReplies++
+		sh.hist.Observe(float64(lat) / float64(time.Millisecond))
+	}
+	if rpcErr {
+		sh.errors++
+		if inWin {
+			sh.wErrors++
+		}
+	}
+	metrics.Emit(sh.tracer, metrics.Reply{Proc: pc.proc, XID: xid, RTT: lat})
+}
+
+// sweep expires pending calls scheduled before cutoff, emitting
+// CallFailed so the auditor's conservation rule stays exact. Caller holds
+// sh.mu. Returns how many were expired.
+func (sh *shard) sweep(cutoff time.Duration) int {
+	n := 0
+	for xid, pc := range sh.pending {
+		if pc.at >= cutoff {
+			continue
+		}
+		delete(sh.pending, xid)
+		sh.timeouts++
+		if pc.at >= sh.winStart && pc.at < sh.winEnd {
+			sh.wTimeouts++
+		}
+		metrics.Emit(sh.tracer, metrics.CallFailed{Proc: pc.proc, XID: xid,
+			Reason: "fleet-timeout"})
+		n++
+	}
+	return n
+}
+
+// setRate applies a scenario rate multiplier to every shard.
+func (fs *fleetState) setRate(mult float64) {
+	for _, sh := range fs.shards {
+		sh.mu.Lock()
+		sh.rate = sh.baseRate * mult
+		sh.mu.Unlock()
+	}
+}
+
+// setStorm toggles duplicate-send mode on every shard.
+func (fs *fleetState) setStorm(dups int) {
+	for _, sh := range fs.shards {
+		sh.mu.Lock()
+		sh.stormDups = dups
+		sh.mu.Unlock()
+	}
+}
+
+// remountAll scripts the thundering herd: every client's wheel entry is
+// torn up and replaced with a remount fire inside the jitter window.
+func (fs *fleetState) remountAll(jitter time.Duration) {
+	jt := uint32(jitter / wheelGran)
+	if jt < 1 {
+		jt = 1
+	}
+	for _, sh := range fs.shards {
+		sh.mu.Lock()
+		sh.wheel.clear()
+		for c := range sh.clients {
+			st := &sh.clients[c]
+			st.flags |= flagRemount
+			sh.wheel.schedule(uint32(c), 1+uint32(xorshift64(&st.rng))%jt)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Result is one fleet run's outcome: totals for conservation, the
+// measured-window rates and percentiles, and the audit verdict.
+type Result struct {
+	Engine   string
+	Offered  float64
+	Clients  int
+	Shards   int
+	Scenario *Scenario
+
+	// Whole-run totals (sent == replies + timeouts after the final sweep).
+	Sent, Replies, Timeouts, Errors, Late, Mounts int64
+	// Measured window only (scheduled inside [Warmup, Warmup+Horizon)).
+	WSent, WReplies, WTimeouts, WErrors int64
+
+	AchievedRPS    float64 // window sends / horizon — offered load actually generated
+	GoodputRPS     float64 // window replies / horizon
+	P50, P99, P999 float64 // ms, window latencies from scheduled send time
+	Hist           metrics.HistogramSnapshot
+
+	Violations  []check.Violation
+	AuditCounts map[string]int
+
+	// Real-socket drain counters: every datagram read must have been
+	// dispatched (Σ reader reads == Σ nfsd calls after Close).
+	ReaderReads, NfsdCalls int64
+	// PerReaderReads breaks ReaderReads down by ingest shard (the herd
+	// test's cross-reader spread assertion).
+	PerReaderReads []int64
+}
+
+// finish folds the shards into a Result (engines call it after their final
+// sweep and auditor Finish).
+func (fs *fleetState) finish(engine string, aud *check.Auditor) *Result {
+	r := &Result{
+		Engine: engine, Offered: fs.cfg.OfferedRPS,
+		Clients: fs.cfg.Clients, Shards: fs.cfg.Shards,
+		Scenario: fs.cfg.Scenario,
+	}
+	var hist metrics.HistogramSnapshot
+	for i, sh := range fs.shards {
+		sh.mu.Lock()
+		r.Sent += sh.sent
+		r.Replies += sh.replies
+		r.Timeouts += sh.timeouts
+		r.Errors += sh.errors
+		r.Late += sh.late
+		r.Mounts += sh.mounts
+		r.WSent += sh.wSent
+		r.WReplies += sh.wReplies
+		r.WTimeouts += sh.wTimeouts
+		r.WErrors += sh.wErrors
+		if i == 0 {
+			hist = sh.hist.Snapshot()
+		} else {
+			hist = hist.Add(sh.hist.Snapshot())
+		}
+		sh.mu.Unlock()
+	}
+	r.Hist = hist
+	secs := fs.cfg.Horizon.Seconds()
+	r.AchievedRPS = float64(r.WSent) / secs
+	r.GoodputRPS = float64(r.WReplies) / secs
+	if hist.Count > 0 {
+		r.P50 = hist.Quantile(50)
+		r.P99 = hist.Quantile(99)
+		r.P999 = hist.Quantile(99.9)
+	}
+	if aud != nil {
+		r.Violations = aud.Finish()
+		r.AuditCounts = aud.Counts()
+	}
+	return r
+}
+
+// TimeoutFrac is the fraction of window sends that expired unanswered.
+func (r *Result) TimeoutFrac() float64 {
+	if r.WSent == 0 {
+		return 0
+	}
+	return float64(r.WTimeouts) / float64(r.WSent)
+}
+
+// Fingerprint hashes everything a deterministic engine must reproduce for
+// a seed: the scenario schedule, the call totals and the audit counts.
+// Two RunSim calls with the same config must agree (the determinism test).
+func (r *Result) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sched:%s;", r.Scenario)
+	fmt.Fprintf(&b, "sent:%d;replies:%d;timeouts:%d;errors:%d;late:%d;mounts:%d;",
+		r.Sent, r.Replies, r.Timeouts, r.Errors, r.Late, r.Mounts)
+	fmt.Fprintf(&b, "wsent:%d;wreplies:%d;wtimeouts:%d;hist:%d;",
+		r.WSent, r.WReplies, r.WTimeouts, r.Hist.Count)
+	keys := make([]string, 0, len(r.AuditCounts))
+	for k := range r.AuditCounts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d;", k, r.AuditCounts[k])
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:8])
+}
+
+// SLO is the latency/loss contract a load point is judged against.
+type SLO struct {
+	P50, P99, P999 time.Duration
+	// MaxTimeoutFrac bounds window timeouts / window sends.
+	MaxTimeoutFrac float64
+}
+
+// DefaultSLO is deliberately loose — a knee-finding default, not a claim.
+func DefaultSLO() SLO {
+	return SLO{P50: 50 * time.Millisecond, P99: 500 * time.Millisecond,
+		P999: 2 * time.Second, MaxTimeoutFrac: 0.01}
+}
+
+// ParseSLO parses "p50=5ms,p99=50ms,p999=250ms,timeouts=0.01". Omitted
+// fields keep the default; unknown keys are errors.
+func ParseSLO(s string) (SLO, error) {
+	slo := DefaultSLO()
+	if s == "" {
+		return slo, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return slo, fmt.Errorf("slo: %q is not key=value", part)
+		}
+		switch kv[0] {
+		case "p50", "p99", "p999":
+			d, err := time.ParseDuration(kv[1])
+			if err != nil {
+				return slo, fmt.Errorf("slo: %s: %w", kv[0], err)
+			}
+			switch kv[0] {
+			case "p50":
+				slo.P50 = d
+			case "p99":
+				slo.P99 = d
+			case "p999":
+				slo.P999 = d
+			}
+		case "timeouts":
+			var f float64
+			if _, err := fmt.Sscanf(kv[1], "%g", &f); err != nil {
+				return slo, fmt.Errorf("slo: timeouts: %w", err)
+			}
+			slo.MaxTimeoutFrac = f
+		default:
+			return slo, fmt.Errorf("slo: unknown key %q (want p50/p99/p999/timeouts)", kv[0])
+		}
+	}
+	return slo, nil
+}
+
+// Check returns the SLO clauses the result violates (empty means pass).
+func (slo SLO) Check(r *Result) []string {
+	var fails []string
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	if slo.P50 > 0 && r.P50 > ms(slo.P50) {
+		fails = append(fails, fmt.Sprintf("p50 %.1fms > %v", r.P50, slo.P50))
+	}
+	if slo.P99 > 0 && r.P99 > ms(slo.P99) {
+		fails = append(fails, fmt.Sprintf("p99 %.1fms > %v", r.P99, slo.P99))
+	}
+	if slo.P999 > 0 && r.P999 > ms(slo.P999) {
+		fails = append(fails, fmt.Sprintf("p999 %.1fms > %v", r.P999, slo.P999))
+	}
+	if f := r.TimeoutFrac(); f > slo.MaxTimeoutFrac {
+		fails = append(fails, fmt.Sprintf("timeouts %.3f > %.3f", f, slo.MaxTimeoutFrac))
+	}
+	return fails
+}

@@ -1,0 +1,322 @@
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+	"unsafe"
+
+	"renonfs/internal/nfsproto"
+)
+
+// TestWheel pins the timing-wheel contract: entries fire exactly at their
+// tick, delays longer than one revolution survive the intermediate
+// rescans, and clear really empties everything.
+func TestWheel(t *testing.T) {
+	w := newWheel(8)
+	w.schedule(1, 1)
+	w.schedule(2, 3)
+	w.schedule(3, 8+1) // one full revolution out: same slot as client 1
+	var fired []uint32
+	var due []uint32
+	for tick := 0; tick < 12; tick++ {
+		due = w.advance(due[:0])
+		for _, ci := range due {
+			fired = append(fired, uint32(tick)<<8|ci)
+		}
+	}
+	want := []uint32{1<<8 | 1, 3<<8 | 2, 9<<8 | 3}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	if w.pendingCount() != 0 {
+		t.Errorf("wheel not drained: %d pending", w.pendingCount())
+	}
+
+	w.schedule(7, 2)
+	w.schedule(8, 200) // stays resident across revolutions
+	if w.pendingCount() != 2 {
+		t.Errorf("pendingCount = %d, want 2", w.pendingCount())
+	}
+	w.clear()
+	if w.pendingCount() != 0 {
+		t.Errorf("clear left %d entries", w.pendingCount())
+	}
+
+	// Zero delay must not fire in the past (schedule clamps to 1 tick): the
+	// current tick passes empty, the next one fires it.
+	w.schedule(9, 0)
+	if due = w.advance(due[:0]); len(due) != 0 {
+		t.Errorf("zero-delay entry fired on the current tick: %v", due)
+	}
+	if due = w.advance(due[:0]); len(due) != 1 || due[0] != 9 {
+		t.Errorf("zero-delay entry fired %v, want [9] on the next tick", due)
+	}
+}
+
+// TestXIDRoundTrip: xids must be unique fleet-wide and attribute back to
+// their client.
+func TestXIDRoundTrip(t *testing.T) {
+	sh := &shard{base: 137, clients: make([]clientState, 3)}
+	seen := map[uint32]bool{}
+	for ci := 0; ci < 3; ci++ {
+		for k := 0; k < 4; k++ {
+			xid := sh.xidOf(ci)
+			if seen[xid] {
+				t.Fatalf("duplicate xid %#x", xid)
+			}
+			seen[xid] = true
+			if got := int(xid >> xidSeqBits); got != 137+ci {
+				t.Errorf("xid %#x attributes to client %d, want %d", xid, got, 137+ci)
+			}
+		}
+	}
+}
+
+// TestCompiledMix: the cumulative table must cover every procedure and
+// respect rough proportions.
+func TestCompiledMix(t *testing.T) {
+	cm := compileMix(map[uint32]float64{
+		nfsproto.ProcGetattr: 0.7, nfsproto.ProcLookup: 0.3,
+	})
+	counts := map[uint32]int{}
+	rng := uint64(42)
+	for i := 0; i < 10000; i++ {
+		counts[cm.pick(randF(&rng))]++
+	}
+	if counts[nfsproto.ProcGetattr] < 6500 || counts[nfsproto.ProcGetattr] > 7500 {
+		t.Errorf("getattr drawn %d/10000, want ~7000", counts[nfsproto.ProcGetattr])
+	}
+	if counts[nfsproto.ProcGetattr]+counts[nfsproto.ProcLookup] != 10000 {
+		t.Errorf("draws escaped the mix: %v", counts)
+	}
+}
+
+// TestSLOParse covers the flag syntax and its error cases (satellite: flag
+// validation with clear errors).
+func TestSLOParse(t *testing.T) {
+	slo, err := ParseSLO("p50=5ms,p99=50ms,p999=250ms,timeouts=0.02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slo.P50 != 5*time.Millisecond || slo.P99 != 50*time.Millisecond ||
+		slo.P999 != 250*time.Millisecond || slo.MaxTimeoutFrac != 0.02 {
+		t.Errorf("parsed %+v", slo)
+	}
+	// Omitted fields keep defaults.
+	slo, err = ParseSLO("p99=100ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := DefaultSLO()
+	if slo.P99 != 100*time.Millisecond || slo.P50 != def.P50 || slo.MaxTimeoutFrac != def.MaxTimeoutFrac {
+		t.Errorf("parsed %+v, want defaults elsewhere", slo)
+	}
+	for _, bad := range []string{"p42=1ms", "p50", "p50=notaduration", "timeouts=x"} {
+		if _, err := ParseSLO(bad); err == nil {
+			t.Errorf("ParseSLO(%q) accepted", bad)
+		}
+	}
+
+	r := &Result{P50: 10, P99: 600, P999: 900, WSent: 1000, WTimeouts: 50}
+	fails := DefaultSLO().Check(r)
+	if len(fails) != 2 { // p99 600ms > 500ms, timeouts 0.05 > 0.01
+		t.Errorf("Check = %v, want p99 + timeout clauses", fails)
+	}
+}
+
+// TestParseKind: every generated name round-trips; junk is rejected.
+func TestParseKind(t *testing.T) {
+	for _, name := range Kinds() {
+		k, err := ParseKind(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.String() != name {
+			t.Errorf("round trip %q -> %v", name, k)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Error("ParseKind accepted junk")
+	}
+}
+
+// TestClientStateFootprint pins the compact-state claim: 10k mounts must
+// cost well under 1 KB each (the states themselves are 16 bytes; the rest
+// is shard fixtures — wheel slots, pending maps, histograms).
+func TestClientStateFootprint(t *testing.T) {
+	if s := unsafe.Sizeof(clientState{}); s != 16 {
+		t.Errorf("clientState is %d bytes, want 16", s)
+	}
+	const clients = 10000
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	fst := newFleetState(Config{Seed: 1, Clients: clients, Shards: 8,
+		OfferedRPS: 1000, Horizon: 10 * time.Second}.withDefaults(), nil, &preload{})
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	grew := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	perClient := grew / clients
+	t.Logf("fleet state: %d KB total, %d B/client", grew/1024, perClient)
+	if perClient > 1024 {
+		t.Errorf("fleet state costs %d B/client, want < 1 KB", perClient)
+	}
+	total := 0
+	for _, sh := range fst.shards {
+		total += len(sh.clients)
+		if sh.wheel.pendingCount() != len(sh.clients) {
+			t.Errorf("shard %d: %d armed, want %d", sh.id, sh.wheel.pendingCount(), len(sh.clients))
+		}
+	}
+	if total != clients {
+		t.Errorf("shards hold %d clients, want %d", total, clients)
+	}
+	runtime.KeepAlive(fst)
+}
+
+// TestSimSteady is the smoke run: conservation exact, no auditor
+// violations, sane percentiles, achieved rate near offered.
+func TestSimSteady(t *testing.T) {
+	r, err := RunSim(Config{Seed: 1, Clients: 500, Shards: 4, OfferedRPS: 400,
+		Warmup: 500 * time.Millisecond, Horizon: 2 * time.Second,
+		Timeout: 2 * time.Second, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sent=%d replies=%d timeouts=%d late=%d p50=%.2fms p99=%.2fms achieved=%.0f goodput=%.0f",
+		r.Sent, r.Replies, r.Timeouts, r.Late, r.P50, r.P99, r.AchievedRPS, r.GoodputRPS)
+	if r.Sent != r.Replies+r.Timeouts {
+		t.Errorf("conservation: sent=%d != replies=%d + timeouts=%d", r.Sent, r.Replies, r.Timeouts)
+	}
+	if len(r.Violations) != 0 {
+		t.Errorf("%d auditor violations; first: %v", len(r.Violations), r.Violations[0])
+	}
+	// Open loop: the rig must generate the offered load regardless of the
+	// server (within sampling noise of the exponential draws).
+	if r.AchievedRPS < 0.85*r.Offered || r.AchievedRPS > 1.15*r.Offered {
+		t.Errorf("achieved %.0f rps, offered %.0f — open-loop pacing broken", r.AchievedRPS, r.Offered)
+	}
+	if r.P50 <= 0 || r.P99 < r.P50 || r.P999 < r.P99 {
+		t.Errorf("percentiles not monotone: p50=%.2f p99=%.2f p999=%.2f", r.P50, r.P99, r.P999)
+	}
+	if r.AuditCounts["event.call_sent"] == 0 || r.AuditCounts["event.server_call"] == 0 {
+		t.Errorf("auditor saw no traffic: %v", r.AuditCounts)
+	}
+}
+
+// TestSimWarmupExcluded: window counters must only cover calls *scheduled*
+// inside [Warmup, Warmup+Horizon).
+func TestSimWarmupExcluded(t *testing.T) {
+	r, err := RunSim(Config{Seed: 5, Clients: 200, Shards: 2, OfferedRPS: 300,
+		Warmup: time.Second, Horizon: time.Second, Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WSent >= r.Sent {
+		t.Errorf("window sends %d not a strict subset of total %d (warmup leaked in)", r.WSent, r.Sent)
+	}
+	// ~Half the run is warmup at constant rate; the window share should be
+	// near half, never all.
+	frac := float64(r.WSent) / float64(r.Sent)
+	if frac < 0.3 || frac > 0.7 {
+		t.Errorf("window holds %.0f%% of sends, want ~50%%", 100*frac)
+	}
+	if int64(r.Hist.Count) > r.WReplies {
+		t.Errorf("histogram %d observations > %d window replies", r.Hist.Count, r.WReplies)
+	}
+}
+
+// TestSimScenarios runs every hostile script end-to-end in the simulator
+// under the strict exactly-once auditor.
+func TestSimScenarios(t *testing.T) {
+	for _, kind := range []Kind{FlashCrowd, RemountHerd, RetransmitStorm, MixedTenants, Stragglers} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			sc := GenerateScenario(kind, 7, 3*time.Second)
+			r, err := RunSim(Config{Seed: 7, Clients: 400, Shards: 4, OfferedRPS: 400,
+				Warmup: 500 * time.Millisecond, Horizon: 3 * time.Second,
+				Timeout: 2 * time.Second, Scenario: sc, Strict: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("sent=%d replies=%d timeouts=%d late=%d mounts=%d p50=%.1f p99=%.1f fp=%s",
+				r.Sent, r.Replies, r.Timeouts, r.Late, r.Mounts, r.P50, r.P99, r.Fingerprint())
+			if r.Sent != r.Replies+r.Timeouts {
+				t.Errorf("conservation: sent=%d replies=%d timeouts=%d", r.Sent, r.Replies, r.Timeouts)
+			}
+			if len(r.Violations) != 0 {
+				t.Errorf("%d violations; first: %v", len(r.Violations), r.Violations[0])
+			}
+			switch kind {
+			case RemountHerd:
+				if r.Mounts != 400 {
+					t.Errorf("herd produced %d MNT calls, want one per client (400)", r.Mounts)
+				}
+				if r.AuditCounts["event.server_crash"] == 0 {
+					t.Error("no server crash recorded — the reboot script did not run")
+				}
+			case RetransmitStorm:
+				if r.AuditCounts["event.retransmit"] == 0 {
+					t.Error("storm produced no retransmissions")
+				}
+				if r.AuditCounts["event.dup_hit"] == 0 {
+					t.Error("storm retransmits never hit the dupcache")
+				}
+			case Stragglers:
+				if r.P999 < 500 {
+					t.Errorf("p999 %.1fms too fast for 56 Kbit/s stragglers", r.P999)
+				}
+			}
+		})
+	}
+}
+
+// TestFlashCrowdRaisesLoad: the rate steps must visibly raise the achieved
+// send rate over the steady baseline. Per-client rate is kept high (3/s)
+// so the rate change — which takes effect on each client's next
+// interarrival draw — propagates quickly relative to the horizon.
+func TestFlashCrowdRaisesLoad(t *testing.T) {
+	base, err := RunSim(Config{Seed: 11, Clients: 200, Shards: 4, OfferedRPS: 600,
+		Horizon: 3 * time.Second, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowd, err := RunSim(Config{Seed: 11, Clients: 200, Shards: 4, OfferedRPS: 600,
+		Horizon: 3 * time.Second, Timeout: 2 * time.Second,
+		Scenario: GenerateScenario(FlashCrowd, 11, 3*time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crowd.AchievedRPS < 1.5*base.AchievedRPS {
+		t.Errorf("flash crowd achieved %.0f rps vs steady %.0f — rate steps had no effect",
+			crowd.AchievedRPS, base.AchievedRPS)
+	}
+}
+
+func BenchmarkWheelAdvance(b *testing.B) {
+	w := newWheel(wheelSlots)
+	for i := 0; i < 10000; i++ {
+		w.schedule(uint32(i), uint32(1+i%4096))
+	}
+	var due []uint32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		due = w.advance(due[:0])
+		for _, ci := range due {
+			w.schedule(ci, uint32(1+int(ci)%4096))
+		}
+	}
+}
+
+func ExampleParseSLO() {
+	slo, _ := ParseSLO("p99=100ms")
+	fmt.Println(slo.P99)
+	// Output: 100ms
+}

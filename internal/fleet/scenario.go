@@ -1,0 +1,205 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"renonfs/internal/faultplan"
+	"renonfs/internal/sim"
+)
+
+// A Scenario is a deterministic script of hostile events laid over the
+// steady open-loop load: rate multipliers (flash crowds), server crash
+// windows, remount herds, retransmit-storm windows, tenant blends and WAN
+// straggler placement. Like a faultplan.Schedule it is pure data derived
+// from (kind, seed, horizon) — the engines interpret it, so the same
+// scenario replays identically in the simulator and describes the same
+// wall-clock script over real sockets. All times are relative to the start
+// of the measurement window (the engines add their warmup offset).
+type Scenario struct {
+	Kind    Kind
+	Seed    int64
+	Horizon time.Duration
+
+	// RateSteps multiply the configured offered load from At onward.
+	RateSteps []RateStep
+	// Crashes are server outage windows (applied via internal/faultplan in
+	// the simulator, SetDown/Crash over real sockets).
+	Crashes []faultplan.Crash
+	// Remounts: at At, every client forgets its mount and re-issues
+	// MNT+LOOKUP within Jitter — the thundering herd after a reboot.
+	Remounts []Remount
+	// Storms: within each window every non-idempotent send is duplicated
+	// Dups times back-to-back (aggressive retransmission against the
+	// dupcache) and the mix is biased toward CREATE/REMOVE churn.
+	Storms []Storm
+	// WANPerMille is the fraction of shards (in 1/1000) placed behind the
+	// 56 Kbit/s serial hop; those clients run a header-only LOOKUP/GETATTR
+	// mix at the configured rate, contending for the shared router.
+	WANPerMille int
+	// TenantWeights blends client populations: nhfsstone FullMix, Andrew,
+	// create-delete. Zero value means all-nhfsstone.
+	TenantWeights [3]int
+}
+
+// RateStep multiplies the offered load from At onward.
+type RateStep struct {
+	At   time.Duration
+	Mult float64
+}
+
+// Remount is a thundering-herd remount event.
+type Remount struct {
+	At     time.Duration
+	Jitter time.Duration
+}
+
+// Storm is a retransmission-storm window.
+type Storm struct {
+	Start, End time.Duration
+	Dups       int
+}
+
+// Kind names a scenario script.
+type Kind int
+
+const (
+	Steady Kind = iota
+	FlashCrowd
+	RemountHerd
+	RetransmitStorm
+	MixedTenants
+	Stragglers
+)
+
+var kindNames = map[Kind]string{
+	Steady:          "steady",
+	FlashCrowd:      "flashcrowd",
+	RemountHerd:     "remountherd",
+	RetransmitStorm: "retransmitstorm",
+	MixedTenants:    "mixedtenants",
+	Stragglers:      "stragglers",
+}
+
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ParseKind resolves a scenario name from the command line.
+func ParseKind(name string) (Kind, error) {
+	for k, n := range kindNames {
+		if n == name {
+			return k, nil
+		}
+	}
+	known := Kinds()
+	return 0, fmt.Errorf("unknown scenario %q (known: %s)", name, strings.Join(known, ", "))
+}
+
+// Kinds lists the scenario names, sorted.
+func Kinds() []string {
+	out := make([]string, 0, len(kindNames))
+	for _, n := range kindNames {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GenerateScenario derives a scenario from (kind, seed, horizon). It has
+// its own RNG, so the script depends on nothing but its inputs — the
+// determinism contract the fingerprint test pins (mirroring
+// faultplan.Generate).
+func GenerateScenario(kind Kind, seed int64, horizon time.Duration) *Scenario {
+	if horizon <= 0 {
+		horizon = 10 * time.Second
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &Scenario{Kind: kind, Seed: seed, Horizon: horizon,
+		TenantWeights: [3]int{1, 0, 0}}
+	frac := func(num, den int64) time.Duration {
+		return horizon * time.Duration(num) / time.Duration(den)
+	}
+	switch kind {
+	case Steady:
+	case FlashCrowd:
+		// The crowd arrives in steps to peakx the base load, then leaves.
+		peak := float64(4 + rng.Intn(4)) // 4..7x
+		s.RateSteps = []RateStep{
+			{At: frac(20, 100), Mult: 2},
+			{At: frac(35, 100), Mult: peak / 2},
+			{At: frac(50, 100), Mult: peak},
+			{At: frac(75, 100), Mult: 1},
+		}
+	case RemountHerd:
+		// Crash, reboot, then every mount comes back at once. The herd's
+		// first ops are retransmitted x3 (clients that just timed out
+		// through a dead server retransmit aggressively), which is the
+		// dupcache's cross-reader worst case.
+		down := frac(20, 100)
+		up := down + frac(10, 100)
+		jitter := 200*time.Millisecond + time.Duration(rng.Int63n(int64(300*time.Millisecond)))
+		if jitter > horizon/10 {
+			jitter = horizon / 10
+		}
+		s.Crashes = []faultplan.Crash{{Start: sim.Time(down), End: sim.Time(up)}}
+		s.Remounts = []Remount{{At: up + 50*time.Millisecond, Jitter: jitter}}
+		s.Storms = []Storm{{Start: up, End: up + jitter + frac(10, 100), Dups: 3}}
+	case RetransmitStorm:
+		// A sustained window where non-idempotent ops are fired in
+		// duplicate bursts and the mix tilts to CREATE/REMOVE churn.
+		s.Storms = []Storm{{
+			Start: frac(30, 100), End: frac(70, 100),
+			Dups: 2 + rng.Intn(3), // 2..4 copies
+		}}
+		s.TenantWeights = [3]int{2, 1, 7}
+	case MixedTenants:
+		s.TenantWeights = [3]int{5, 3, 2}
+	case Stragglers:
+		s.WANPerMille = 250
+	default:
+		panic("fleet: unknown scenario kind")
+	}
+	return s
+}
+
+// String renders the scenario compactly — the replay key a failing SLO run
+// prints, and the input to Fingerprint.
+func (s *Scenario) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet seed=%d kind=%s horizon=%s", s.Seed, s.Kind, s.Horizon)
+	for _, r := range s.RateSteps {
+		fmt.Fprintf(&b, " rate@%s=%.2fx", r.At, r.Mult)
+	}
+	for _, c := range s.Crashes {
+		fmt.Fprintf(&b, " crash[%s,%s]", time.Duration(c.Start), time.Duration(c.End))
+	}
+	for _, r := range s.Remounts {
+		fmt.Fprintf(&b, " remount@%s±%s", r.At, r.Jitter)
+	}
+	for _, st := range s.Storms {
+		fmt.Fprintf(&b, " storm[%s,%s]x%d", st.Start, st.End, st.Dups)
+	}
+	if s.WANPerMille > 0 {
+		fmt.Fprintf(&b, " wan=%d/1000", s.WANPerMille)
+	}
+	fmt.Fprintf(&b, " tenants=%d/%d/%d",
+		s.TenantWeights[0], s.TenantWeights[1], s.TenantWeights[2])
+	return b.String()
+}
+
+// Fingerprint hashes the rendered schedule; two runs with the same seed
+// must produce the same value (the determinism test's contract), so a
+// failing run can be replayed exactly from its printed seed.
+func (s *Scenario) Fingerprint() string {
+	sum := sha256.Sum256([]byte(s.String()))
+	return hex.EncodeToString(sum[:8])
+}

@@ -1,0 +1,69 @@
+package fleet
+
+// A hashed timing wheel schedules every client of one shard with O(1)
+// insert and no goroutine or heap node per client — the structure that
+// lets 10k mounts fit in a handful of slot slices. Each slot holds the
+// clients whose next send lands on that tick modulo the wheel size;
+// entries carry their absolute due tick, so delays longer than one
+// revolution just stay in the slot until their tick comes around (they are
+// rescanned once per revolution, which at 4096 x 1 ms slots means once
+// every ~4 s — noise).
+type wheelEntry struct {
+	idx  uint32 // shard-local client index
+	tick uint32 // absolute due tick
+}
+
+type wheel struct {
+	slots [][]wheelEntry
+	tick  uint32 // next tick to fire
+}
+
+func newWheel(slots int) *wheel {
+	return &wheel{slots: make([][]wheelEntry, slots)}
+}
+
+// schedule arms client idx to fire delayTicks from the current tick (at
+// least one tick out, so a zero delay cannot fire in the past).
+func (w *wheel) schedule(idx uint32, delayTicks uint32) {
+	if delayTicks == 0 {
+		delayTicks = 1
+	}
+	due := w.tick + delayTicks
+	s := int(due) % len(w.slots)
+	w.slots[s] = append(w.slots[s], wheelEntry{idx: idx, tick: due})
+}
+
+// advance collects the clients due at the current tick into due (reused
+// across calls to stay allocation-free) and moves the wheel forward one
+// tick. Entries from later revolutions are compacted in place.
+func (w *wheel) advance(due []uint32) []uint32 {
+	s := int(w.tick) % len(w.slots)
+	slot := w.slots[s]
+	keep := slot[:0]
+	for _, e := range slot {
+		if e.tick == w.tick {
+			due = append(due, e.idx)
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	w.slots[s] = keep
+	w.tick++
+	return due
+}
+
+// clear empties every slot (the remount herd reschedules the whole shard).
+func (w *wheel) clear() {
+	for i := range w.slots {
+		w.slots[i] = w.slots[i][:0]
+	}
+}
+
+// pendingCount reports how many clients are armed (tests).
+func (w *wheel) pendingCount() int {
+	n := 0
+	for _, s := range w.slots {
+		n += len(s)
+	}
+	return n
+}

@@ -78,6 +78,52 @@ type MultiTestbed struct {
 	Clients []*Node
 }
 
+// FleetTestbed is the open-loop fleet rig's network (internal/fleet): the
+// server and a LAN client host on Ethernets joined by one router, plus a
+// WAN client host behind the paper's 56 Kbit/s serial line sharing that
+// same router — so slow-WAN stragglers and LAN traffic contend for the
+// router's CPU and the server-side Ethernet, the §4 congestion setup.
+type FleetTestbed struct {
+	Net    *Net
+	Server *Node
+	Router *Node
+	LAN    *Node // fleet shards bind their sockets here
+	WAN    *Node // straggler shards bind here, behind the serial hop
+}
+
+// BuildFleet constructs the fleet topology. The client hosts stand in for
+// thousands of mounts each, so callers give them generous MIPS (the rig
+// measures the server and the network, not client CPUs).
+func BuildFleet(env *sim.Env, lan, wan, server NodeConfig) *FleetTestbed {
+	nt := New(env)
+	if lan.Name == "" {
+		lan.Name = "lanfleet"
+	}
+	if wan.Name == "" {
+		wan.Name = "wanfleet"
+	}
+	if server.Name == "" {
+		server.Name = "server"
+	}
+	ft := &FleetTestbed{Net: nt}
+	ft.Server = nt.AddNode(server)
+	ft.Router = nt.AddNode(NodeConfig{Name: "router", MIPS: MIPSRouter, Forward: true})
+	ft.LAN = nt.AddNode(lan)
+	ft.WAN = nt.AddNode(wan)
+	nt.Connect(ft.Server, ft.Router, Ethernet("eth0"))
+	nt.Connect(ft.LAN, ft.Router, Ethernet("eth1"))
+	nt.Connect(ft.WAN, ft.Router, SerialLine("serial"))
+	nt.ComputeRoutes()
+	return ft
+}
+
+// Testbed adapts the fleet network to the faultplan.Apply shape (it wants
+// a Testbed to install link fault hooks and find the server's links).
+func (ft *FleetTestbed) Testbed() *Testbed {
+	return &Testbed{Net: ft.Net, Client: ft.LAN, Server: ft.Server,
+		Routers: []*Node{ft.Router}}
+}
+
 // Build constructs the topology with the given client and server host
 // configurations, computes routes and returns the testbed.
 func Build(env *sim.Env, topo Topology, client, server NodeConfig) *Testbed {

@@ -159,7 +159,7 @@ func Serve(srv *server.Server, udpAddr, tcpAddr string) (*Server, error) {
 	// bind several to the port, otherwise one socket shared by every reader.
 	var socks []*net.UDPConn
 	reuse := false
-	if nreaders > 1 && reusePortSupported() && !disableReusePort {
+	if nreaders > 1 && reusePortSupported() && !disableReusePort && !srv.Opts.NoReusePort {
 		if cs, err := listenReusePort(udpAddr, nreaders); err == nil {
 			socks, reuse = cs, true
 		}

@@ -68,6 +68,13 @@ type Options struct {
 	// 0 means one per GOMAXPROCS; nfsnet clamps the count to NFSDs so
 	// every ring has a drainer. The simulator ignores it.
 	Readers int
+	// NoReusePort forces the real-socket frontend's shared-socket ingest
+	// fallback even where SO_REUSEPORT is available. Under reuseport the
+	// kernel pins a peer's 4-tuple to one socket, so a client's
+	// retransmissions always land on the same reader; on a shared socket
+	// they spread across readers — the hostile cross-reader path the
+	// fleet rig's herd and storm scenarios exist to exercise.
+	NoReusePort bool
 	// Leases enables the NQNFS-style cache lease extension (procedures
 	// LEASE/VACATED) from the paper's Future Directions.
 	Leases bool

@@ -1,0 +1,41 @@
+package workload
+
+import "renonfs/internal/nfsproto"
+
+// Tenant mixes for the open-loop fleet rig (internal/fleet). Each is the
+// same shape as FullMix: procedure → probability, summing to 1. The fleet
+// assigns one mix per simulated mount, so a run can blend Andrew-style
+// software builds, nhfsstone steady state and create-delete churn the way
+// a real departmental server saw all three at once (paper §4).
+
+// AndrewMix approximates the per-phase RPC profile of the Andrew benchmark
+// (MakeDir/Copy/ScanDir/ReadAll/Make averaged): attribute- and
+// lookup-dominant with a build's read/write tail and a trickle of
+// directory mutation. Derived from the phase operation counts in
+// internal/workload/andrew.go rather than measured traces.
+func AndrewMix() map[uint32]float64 {
+	return map[uint32]float64{
+		nfsproto.ProcGetattr: 0.26,
+		nfsproto.ProcLookup:  0.36,
+		nfsproto.ProcRead:    0.17,
+		nfsproto.ProcWrite:   0.10,
+		nfsproto.ProcCreate:  0.04,
+		nfsproto.ProcRemove:  0.02,
+		nfsproto.ProcReaddir: 0.04,
+		nfsproto.ProcStatfs:  0.01,
+	}
+}
+
+// CreateDeleteMix is the §5 Create-Delete churn as a steady-state mix:
+// dominated by CREATE/REMOVE pairs (the dupcache's worst customers, since
+// both are non-idempotent) with the writes that populate each created
+// file. Fleet clients running this mix alternate create/remove of a
+// per-client temp file so the churn never collides across mounts.
+func CreateDeleteMix() map[uint32]float64 {
+	return map[uint32]float64{
+		nfsproto.ProcCreate: 0.40,
+		nfsproto.ProcRemove: 0.40,
+		nfsproto.ProcWrite:  0.12,
+		nfsproto.ProcLookup: 0.08,
+	}
+}
