@@ -32,11 +32,13 @@ vet:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x ./...
 
-# One iteration of every benchmark plus the allocation-budget tests: keeps
-# the bench code honest and fails on per-call allocation or copy regressions
-# against BENCH_baseline.json.
+# One iteration of every benchmark plus the allocation-budget tests and the
+# fast-path regression gate: keeps the bench code honest and fails on
+# per-call allocation or copy regressions against BENCH_baseline.json, or on
+# a fast-path LOOKUP slower than the generic dispatch it bypasses
+# (BENCH_fastpath.json).
 bench-smoke:
-	$(GO) test -run 'TestAllocBudget|TestReadReplyZeroCopy' -bench=. -benchmem -benchtime 1x .
+	$(GO) test -run 'TestAllocBudget|TestReadReplyZeroCopy|TestFastpathLookupGate' -bench=. -benchmem -benchtime 1x .
 
 # Real-socket scaling curves: GOMAXPROCS 1/2/4/8 x 1/2/4/8 concurrent
 # clients against the parallel nfsd worker pool — each GOMAXPROCS setting

@@ -27,6 +27,11 @@ import (
 const (
 	lookupAllocBudget = 8
 	read8KAllocBudget = 8
+	// The shallow dispatch path decodes from and encodes into flat caller
+	// scratch — its only steady-state allocation is the LOOKUP name string
+	// (GETATTR has none). One alloc of headroom, like the budgets above.
+	fastLookupAllocBudget  = 2
+	fastGetattrAllocBudget = 2
 )
 
 // warmServer builds a server with one 8 KB file, runs a few calls of each
@@ -198,6 +203,63 @@ func TestAllocBudgetSpanRecording(t *testing.T) {
 	}
 	if gotRead > read8KAllocBudget {
 		t.Errorf("spanned 8 KB READ allocates %.1f/op, budget is %d", gotRead, read8KAllocBudget)
+	}
+}
+
+// encodeFastWire flattens one call for the shallow path's flat-byte entry.
+func encodeFastWire(t testing.TB, xid, proc uint32, args func(e *xdr.Encoder)) []byte {
+	t.Helper()
+	req := &mbuf.Chain{}
+	rpc.EncodeCall(req, &rpc.Call{XID: xid, Prog: nfsproto.Program, Vers: nfsproto.Version, Proc: proc})
+	if args != nil {
+		args(xdr.NewEncoder(req))
+	}
+	wire := append([]byte(nil), req.Bytes()...)
+	req.Free()
+	return wire
+}
+
+// fastOnce services one pre-encoded datagram through HandleCallFast the way
+// an ingest reader would: peek, classify, service into reused scratch.
+func fastOnce(t testing.TB, s *server.Server, wire, out []byte) {
+	var h rpc.PeekedCall
+	argOff, ok := rpc.PeekCallHeader(wire, &h)
+	if !ok || !server.FastEligible(&h) {
+		t.Fatal("alloc probe datagram not fast-eligible")
+	}
+	rep, ok := s.HandleCallFast("alloc-peer", wire, &h, argOff, out, nil)
+	if !ok || len(rep) == 0 {
+		t.Fatal("fast path refused the alloc probe")
+	}
+}
+
+// TestAllocBudgetFastPath pins the shallow path's headline economy: a fast
+// LOOKUP allocates at most its name string, a fast GETATTR nothing at all —
+// against the 10 allocs/op the generic LOOKUP dispatch costs (and pins
+// above). The reply scratch is reused across calls, as the reader's send
+// batch arena reuses its.
+func TestAllocBudgetFastPath(t *testing.T) {
+	s, root, fileFH := warmServer(t)
+	lookupWire := encodeFastWire(t, 1, nfsproto.ProcLookup, func(e *xdr.Encoder) {
+		(&nfsproto.DiropArgs{Dir: root, Name: "data"}).Encode(e)
+	})
+	getattrWire := encodeFastWire(t, 2, nfsproto.ProcGetattr, func(e *xdr.Encoder) {
+		(&nfsproto.GetattrArgs{File: fileFH}).Encode(e)
+	})
+	out := make([]byte, 0, server.FastReplyMax)
+	for i := 0; i < 32; i++ { // warm the name cache to steady state
+		fastOnce(t, s, lookupWire, out)
+		fastOnce(t, s, getattrWire, out)
+	}
+	gotLookup := testing.AllocsPerRun(200, func() { fastOnce(t, s, lookupWire, out) })
+	t.Logf("fast LOOKUP: %.1f allocs/op (budget %d)", gotLookup, fastLookupAllocBudget)
+	if gotLookup > fastLookupAllocBudget {
+		t.Errorf("fast LOOKUP allocates %.1f/op, budget is %d", gotLookup, fastLookupAllocBudget)
+	}
+	gotGetattr := testing.AllocsPerRun(200, func() { fastOnce(t, s, getattrWire, out) })
+	t.Logf("fast GETATTR: %.1f allocs/op (budget %d)", gotGetattr, fastGetattrAllocBudget)
+	if gotGetattr > fastGetattrAllocBudget {
+		t.Errorf("fast GETATTR allocates %.1f/op, budget is %d", gotGetattr, fastGetattrAllocBudget)
 	}
 }
 

@@ -333,6 +333,67 @@ func BenchmarkServerLookupDispatch(b *testing.B) {
 	}
 }
 
+// fastpathWire encodes one call to the flat bytes the ingest readers peek.
+func fastpathWire(xid, proc uint32, args func(e *xdr.Encoder)) []byte {
+	req := &mbuf.Chain{}
+	rpc.EncodeCall(req, &rpc.Call{XID: xid, Prog: nfsproto.Program, Vers: 2, Proc: proc})
+	if args != nil {
+		args(xdr.NewEncoder(req))
+	}
+	wire := append([]byte(nil), req.Bytes()...)
+	req.Free()
+	return wire
+}
+
+// BenchmarkServerLookupFastpath measures the shallow dispatch path against
+// BenchmarkServerLookupDispatch above: peek, classify and service the same
+// LOOKUP into reused scratch, the way an ingest reader does per datagram.
+// The CI gate (TestFastpathLookupGate) holds this below the generic path.
+func BenchmarkServerLookupFastpath(b *testing.B) {
+	fs := memfs.New(1, nil, nil)
+	srv := server.New(fs, server.Reno())
+	fs.Create(nil, fs.Root(), "target", 0644)
+	root := srv.RootFH()
+	wire := fastpathWire(1, nfsproto.ProcLookup, func(e *xdr.Encoder) {
+		(&nfsproto.DiropArgs{Dir: root, Name: "target"}).Encode(e)
+	})
+	out := make([]byte, 0, server.FastReplyMax)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var h rpc.PeekedCall
+		argOff, ok := rpc.PeekCallHeader(wire, &h)
+		if !ok || !server.FastEligible(&h) {
+			b.Fatal("bench wire not fast-eligible")
+		}
+		rep, ok := srv.HandleCallFast("b", wire, &h, argOff, out, nil)
+		if !ok || len(rep) == 0 {
+			b.Fatal("fast path refused the bench call")
+		}
+	}
+}
+
+func BenchmarkServerGetattrFastpath(b *testing.B) {
+	fs := memfs.New(1, nil, nil)
+	srv := server.New(fs, server.Reno())
+	f, _ := fs.Create(nil, fs.Root(), "target", 0644)
+	wire := fastpathWire(1, nfsproto.ProcGetattr, func(e *xdr.Encoder) {
+		(&nfsproto.GetattrArgs{File: fs.FH(f)}).Encode(e)
+	})
+	out := make([]byte, 0, server.FastReplyMax)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var h rpc.PeekedCall
+		argOff, ok := rpc.PeekCallHeader(wire, &h)
+		if !ok || !server.FastEligible(&h) {
+			b.Fatal("bench wire not fast-eligible")
+		}
+		rep, ok := srv.HandleCallFast("b", wire, &h, argOff, out, nil)
+		if !ok || len(rep) == 0 {
+			b.Fatal("fast path refused the bench call")
+		}
+	}
+}
+
 func BenchmarkServerRead8K(b *testing.B) {
 	fs := memfs.New(1, nil, nil)
 	srv := server.New(fs, server.Reno())

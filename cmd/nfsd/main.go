@@ -190,13 +190,20 @@ func printFinal(s *nfsnet.Server) {
 	fmt.Printf("mbuf: %d bytes copied, %d bytes loaned, pool %d hits / %d misses\n",
 		snap.Counters["mbuf.copied_bytes"], snap.Counters["mbuf.loaned_bytes"],
 		snap.Counters["mbuf.pool_hits"], snap.Counters["mbuf.pool_misses"])
+	if msgs := snap.Counters["rpc.send.batched_msgs"]; msgs > 0 {
+		fmt.Printf("fastpath: %d calls, %d fallbacks; batched sends: %d syscalls / %d replies (%.3f per reply)\n",
+			snap.Counters["rpc.fastpath.calls"], snap.Counters["rpc.fastpath.fallbacks"],
+			snap.Counters["rpc.send.batches"], msgs,
+			float64(snap.Counters["rpc.send.batches"])/float64(msgs))
+	}
 	printReaders(snap, s)
 	printStages(snap)
 	printLocks()
 }
 
 // printReaders renders the per-reader ingest spread: how many datagrams
-// each sharded reader staged and how often it woke from a blocking read.
+// each sharded reader staged, how many it consumed inline on the shallow
+// dispatch path, and how often it woke from a blocking read.
 func printReaders(snap *metrics.Snapshot, s *nfsnet.Server) {
 	n := s.Readers()
 	if n <= 1 {
@@ -207,10 +214,11 @@ func printReaders(snap *metrics.Snapshot, s *nfsnet.Server) {
 		mode = "SO_REUSEPORT"
 	}
 	tb := stats.NewTable(fmt.Sprintf("udp ingest (%d readers, %s)", n, mode),
-		"reader", "reads", "wakeups")
+		"reader", "reads", "fast", "wakeups")
 	for i := 0; i < n; i++ {
 		tb.AddRow(i,
 			snap.Counters[fmt.Sprintf("rpc.reader.%d.reads", i)],
+			snap.Counters[fmt.Sprintf("rpc.reader.%d.fast", i)],
 			snap.Counters[fmt.Sprintf("rpc.reader.%d.wakeups", i)])
 	}
 	fmt.Print(tb.String())

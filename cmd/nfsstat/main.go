@@ -12,8 +12,11 @@
 //	nfsstat -json                    dump the raw JSON snapshot
 //
 // Besides the per-procedure table it renders the parallel-dispatch view:
-// the sharded UDP ingest frontend (rpc.reader.<id>.reads/.wakeups and the
-// socket strategy), the nfsd worker pool (rpc.nfsd.busy, per-worker calls
+// the sharded UDP ingest frontend (rpc.reader.<id>.reads/.fast/.wakeups and
+// the socket strategy), the shallow-dispatch and reply-coalescing counters
+// (rpc.fastpath.calls/.fallbacks, rpc.send.batches/.batched_msgs — the
+// batches/msgs ratio is send syscalls per reply), the nfsd worker pool
+// (rpc.nfsd.busy, per-worker calls
 // and busy time), the sharded duplicate-request-cache counters
 // (server.dupc.*), the
 // stage-level "where the microsecond goes" pipeline breakdown
@@ -129,6 +132,12 @@ func render(snap *metrics.Snapshot, delta bool) {
 		snap.Counters["nfs.calls"], snap.Counters["nfs.errors"],
 		snap.Counters["nfs.dup_hits"], snap.Counters["nfs.bytes_in"],
 		snap.Counters["nfs.bytes_out"])
+	if msgs := snap.Counters["rpc.send.batched_msgs"]; msgs > 0 {
+		fmt.Printf("fastpath %d calls  %d fallbacks  batched sends %d syscalls / %d replies (%.3f per reply)\n",
+			snap.Counters["rpc.fastpath.calls"], snap.Counters["rpc.fastpath.fallbacks"],
+			snap.Counters["rpc.send.batches"], msgs,
+			float64(snap.Counters["rpc.send.batches"])/float64(msgs))
+	}
 	renderStages(snap, delta)
 	renderReaders(snap)
 	renderWorkers(snap)
@@ -178,7 +187,7 @@ func renderLocks(snap *metrics.Snapshot) {
 	for name, v := range snap.Counters {
 		if site, ok := strings.CutPrefix(name, "lock."); ok {
 			if site, ok := strings.CutSuffix(site, ".contended"); ok && v > 0 {
-				rows = append(rows, row{site, v, snap.Counters["lock." + site + ".wait_us"]})
+				rows = append(rows, row{site, v, snap.Counters["lock."+site+".wait_us"]})
 			}
 		}
 	}
@@ -194,10 +203,11 @@ func renderLocks(snap *metrics.Snapshot) {
 }
 
 // renderReaders prints the sharded UDP ingest view: one row per reader
-// (rpc.reader.<id>.reads / .wakeups), showing how evenly datagrams spread
-// across the frontend — with SO_REUSEPORT sockets the kernel's 4-tuple
-// hash does the spreading; on a shared socket the readers rotate on the
-// fd read lock.
+// (rpc.reader.<id>.reads / .fast / .wakeups), showing how evenly datagrams
+// spread across the frontend and how many each reader consumed inline on
+// the shallow dispatch path — with SO_REUSEPORT sockets the kernel's
+// 4-tuple hash does the spreading; on a shared socket the readers rotate on
+// the fd read lock (and the fast path is off).
 func renderReaders(snap *metrics.Snapshot) {
 	ids := make([]string, 0, 8)
 	for name := range snap.Counters {
@@ -221,10 +231,11 @@ func renderReaders(snap *metrics.Snapshot) {
 		mode = "SO_REUSEPORT"
 	}
 	tb := stats.NewTable(fmt.Sprintf("udp ingest (%d readers, %s)", len(ids), mode),
-		"reader", "reads", "wakeups")
+		"reader", "reads", "fast", "wakeups")
 	for _, id := range ids {
 		tb.AddRow("reader."+id,
 			snap.Counters["rpc.reader."+id+".reads"],
+			snap.Counters["rpc.reader."+id+".fast"],
 			snap.Counters["rpc.reader."+id+".wakeups"])
 	}
 	fmt.Print(tb.String())

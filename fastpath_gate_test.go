@@ -1,0 +1,57 @@
+package renonfs_test
+
+// The bench-smoke regression gate for the shallow dispatch path: the fast
+// LOOKUP must stay measurably below the generic zero-copy dispatch it
+// bypasses (928 ns/op at the time the path landed — BENCH_baseline.json's
+// zero_copy record; BENCH_fastpath.json holds the before/after pair). A
+// fast path slower than the path it shortcuts is a regression even if every
+// reply is still byte-identical, so this fails CI rather than aging quietly.
+
+import (
+	"testing"
+	"time"
+
+	"renonfs/internal/nfsproto"
+	"renonfs/internal/server"
+	"renonfs/internal/xdr"
+)
+
+// bestOf3 times iters calls of f three times and returns the best ns/op —
+// min-of-N is the standard defense against scheduler noise in a gate that
+// compares two absolute timings.
+func bestOf3(iters int, f func()) float64 {
+	best := time.Duration(1 << 62)
+	for r := 0; r < 3; r++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds()) / float64(iters)
+}
+
+func TestFastpathLookupGate(t *testing.T) {
+	s, root, _ := warmServer(t)
+	wire := encodeFastWire(t, 1, nfsproto.ProcLookup, func(e *xdr.Encoder) {
+		(&nfsproto.DiropArgs{Dir: root, Name: "data"}).Encode(e)
+	})
+	out := make([]byte, 0, server.FastReplyMax)
+	xid := uint32(1000)
+	for i := 0; i < 64; i++ { // steady-state pools and name cache
+		xid++
+		lookupOnce(t, s, root, xid)
+		fastOnce(t, s, wire, out)
+	}
+	const iters = 5000
+	generic := bestOf3(iters, func() { xid++; lookupOnce(t, s, root, xid) })
+	fast := bestOf3(iters, func() { fastOnce(t, s, wire, out) })
+	t.Logf("LOOKUP dispatch: generic %.0f ns/op, fast %.0f ns/op (%.2fx)",
+		generic, fast, generic/fast)
+	if fast >= generic {
+		t.Errorf("fast-path LOOKUP (%.0f ns/op) regressed above the generic baseline (%.0f ns/op)",
+			fast, generic)
+	}
+}

@@ -63,6 +63,7 @@ type Config struct {
 	// Real-socket engine only.
 	Readers     int  // sharded ingest readers (0: GOMAXPROCS)
 	NoReusePort bool // force shared-socket ingest so retransmits cross readers
+	NoFastPath  bool // disable the shallow dispatch path (before/after benchmarks)
 }
 
 func (c Config) withDefaults() Config {
@@ -679,12 +680,17 @@ type Result struct {
 	Violations  []check.Violation
 	AuditCounts map[string]int
 
-	// Real-socket drain counters: every datagram read must have been
-	// dispatched (Σ reader reads == Σ nfsd calls after Close).
-	ReaderReads, NfsdCalls int64
+	// Real-socket drain counters: every datagram read was either serviced
+	// inline on its reader or dispatched to a worker (Σ reader reads ==
+	// Σ nfsd calls + Σ reader fast after Close).
+	ReaderReads, ReaderFast, NfsdCalls int64
 	// PerReaderReads breaks ReaderReads down by ingest shard (the herd
 	// test's cross-reader spread assertion).
 	PerReaderReads []int64
+	// Shallow-path accounting: inline-serviced calls, eligible calls that
+	// punted to the generic path, and the batched writer's syscall/reply
+	// split (SendBatches send syscalls carried SendMsgs replies).
+	FastCalls, FastFallbacks, SendBatches, SendMsgs int64
 }
 
 // finish folds the shards into a Result (engines call it after their final

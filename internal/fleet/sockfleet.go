@@ -36,6 +36,7 @@ func RunSock(cfg Config) (*Result, error) {
 	opts.Readers = cfg.Readers
 	opts.DupCacheSize = cfg.DupCacheSize
 	opts.NoReusePort = cfg.NoReusePort
+	opts.NoFastPath = cfg.NoFastPath
 	srv := server.New(fsys, opts)
 	epoch := time.Now()
 	aud := check.New(func() time.Duration { return time.Since(epoch) })
@@ -213,10 +214,16 @@ func RunSock(cfg Config) (*Result, error) {
 		switch {
 		case strings.HasPrefix(name, "rpc.reader.") && strings.HasSuffix(name, ".reads"):
 			res.ReaderReads += v
+		case strings.HasPrefix(name, "rpc.reader.") && strings.HasSuffix(name, ".fast"):
+			res.ReaderFast += v
 		case strings.HasPrefix(name, "rpc.nfsd.") && strings.HasSuffix(name, ".calls"):
 			res.NfsdCalls += v
 		}
 	}
+	res.FastCalls = snap.Counters["rpc.fastpath.calls"]
+	res.FastFallbacks = snap.Counters["rpc.fastpath.fallbacks"]
+	res.SendBatches = snap.Counters["rpc.send.batches"]
+	res.SendMsgs = snap.Counters["rpc.send.batched_msgs"]
 	res.PerReaderReads = make([]int64, s.Readers())
 	for i := range res.PerReaderReads {
 		res.PerReaderReads[i] = snap.Counters[fmt.Sprintf("rpc.reader.%d.reads", i)]

@@ -21,6 +21,15 @@
 // and merely pipeline staging against the descriptor's read lock. Each
 // wakeup drains a batch of queued datagrams (recvmmsg-style) into pooled
 // mbufs drawn from a per-reader mbuf.Cache.
+//
+// Dispatch itself is split in two (DESIGN.md §3.4). Before staging a
+// datagram, the reader peeks its CALL header: header-only procedures
+// (NULL, GETATTR, LOOKUP, small READDIRs, STATFS, the MOUNT herd) are
+// serviced inline on the reader via server.HandleCallFast — no mbuf chain,
+// no ring hop, replies encoded into a per-reader arena and flushed in
+// coalesced sendmmsg batches — while everything else (and any fast-path
+// fallback) takes the generic mbuf/ring/nfsd route unchanged. Workers
+// coalesce their reply sends the same way when a burst is in the ring.
 package nfsnet
 
 import (
@@ -28,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -82,6 +92,15 @@ type Server struct {
 	// stages aggregates every request's span into the rpc.stage.*
 	// histograms and keeps the slowest spans for trace dumps.
 	stages *metrics.StageStats
+
+	// fastOff disables the shallow dispatch path (Opts.NoFastPath); the
+	// counters account it: fastCalls datagrams serviced inline on a reader,
+	// fastFallbacks datagrams classified eligible but punted to the generic
+	// path, sendBatches send syscalls issued by the coalescing writers and
+	// sendMsgs replies sent through them.
+	fastOff                  bool
+	fastCalls, fastFallbacks *metrics.Counter
+	sendBatches, sendMsgs    *metrics.Counter
 }
 
 // crashSite attributes waits on the quiesce gate: nonzero numbers mean
@@ -91,7 +110,7 @@ var crashSite = lockstat.NewSite("nfsnet.crashgate")
 // udpJob is one datagram awaiting an nfsd: the request already lives in
 // (pooled) mbufs, so the reader's socket buffer is immediately reusable.
 type udpJob struct {
-	addr *net.UDPAddr
+	addr netip.AddrPort
 	req  *mbuf.Chain
 	// t0 is the datagram's arrival (span begin); readNS how long the
 	// socket-to-mbuf staging took (the span's read stage).
@@ -108,20 +127,23 @@ type udpReader struct {
 	id   int
 	conn *net.UDPConn
 	ring chan udpJob
-	// reads counts datagrams staged (rpc.reader.<id>.reads); wakeups
+	// reads counts every datagram the reader pulled off its socket
+	// (rpc.reader.<id>.reads), fast-path and staged alike; fast counts the
+	// subset consumed inline on the shallow path (rpc.reader.<id>.fast) —
+	// so Σreads == Σnfsd calls + Σfast is the drain invariant. wakeups
 	// counts blocking-read returns that yielded at least one datagram
 	// (rpc.reader.<id>.wakeups) — reads/wakeups is the mean drain batch.
-	reads, wakeups *metrics.Counter
+	reads, fast, wakeups *metrics.Counter
 }
 
 // Reader deadlines. A reader that owns its socket re-arms a bounded
 // blocking deadline each loop, so a Close kick can never be erased by a
 // racing re-arm for longer than readerPoll; after a wakeup it drains the
-// already-queued backlog under the short batchPoll deadline (the
-// recvmmsg-style amortization — packets arriving inside the window are
-// taken too, so the window adds no delivery latency). Readers sharing one
-// socket never touch its deadline: a short per-reader deadline on a shared
-// descriptor would wake every blocked sibling.
+// already-queued backlog non-blocking (drainRead; the recvmmsg-style
+// amortization). batchPoll bounds the portable fallback drain where no
+// non-blocking probe exists. Readers sharing one socket never touch its
+// deadline: a short per-reader deadline on a shared descriptor would wake
+// every blocked sibling.
 const (
 	readerPoll   = 250 * time.Millisecond
 	batchPoll    = time.Millisecond
@@ -191,7 +213,19 @@ func Serve(srv *server.Server, udpAddr, tcpAddr string) (*Server, error) {
 		conns:  make(map[net.Conn]struct{}),
 		busy:   srv.Metrics.Gauge("rpc.nfsd.busy"),
 		stages: metrics.NewStageStats(srv.Metrics, metrics.DefaultSlowSpans),
+		// The shallow path services requests inline on the reader, which
+		// is only sound when readers cannot contend for datagrams: a
+		// fast-serving reader on a multi-reader *shared* socket never
+		// blocks on its ring, so it would hog the descriptor's read lock
+		// (starving its siblings) and serialize all header-only service on
+		// one goroutine. Reuseport sockets (each reader owns one) and the
+		// single-reader fallback have no such contention.
+		fastOff: srv.Opts.NoFastPath || (!reuse && nreaders > 1),
 	}
+	s.fastCalls = srv.Metrics.Counter("rpc.fastpath.calls")
+	s.fastFallbacks = srv.Metrics.Counter("rpc.fastpath.fallbacks")
+	s.sendBatches = srv.Metrics.Counter("rpc.send.batches")
+	s.sendMsgs = srv.Metrics.Counter("rpc.send.batched_msgs")
 	srv.Metrics.Counter("rpc.readers").Store(int64(nreaders))
 	if reuse {
 		srv.Metrics.Counter("rpc.reader.reuseport").Store(1)
@@ -218,6 +252,7 @@ func Serve(srv *server.Server, udpAddr, tcpAddr string) (*Server, error) {
 			conn:    conn,
 			ring:    make(chan udpJob, slots),
 			reads:   srv.Metrics.Counter(fmt.Sprintf("rpc.reader.%d.reads", i)),
+			fast:    srv.Metrics.Counter(fmt.Sprintf("rpc.reader.%d.fast", i)),
 			wakeups: srv.Metrics.Counter(fmt.Sprintf("rpc.reader.%d.wakeups", i)),
 		})
 	}
@@ -346,19 +381,31 @@ func (s *Server) Crash() {
 	s.srv.Crash()
 }
 
-// readUDP is one sharded socket reader: it moves each datagram into pooled
-// mbufs (drawn from a per-reader batch cache) and queues it on its ring for
-// the nfsd pool, the way the BSD network interrupt handed mbuf chains to
-// sleeping nfsds. A reader that owns its socket (reuseport) drains the
-// kernel backlog in batches per wakeup; readers sharing one socket take
-// plain blocking reads — they pipeline mbuf staging against the
-// descriptor's read lock but must leave the shared deadline alone.
+// readUDP is one sharded socket reader. Each datagram is first offered to
+// the shallow dispatch path (tryFast): header-only procedures are serviced
+// right here, their replies coalescing in the reader's send batch. Every
+// other datagram moves into pooled mbufs (drawn from a per-reader batch
+// cache) and queues on the ring for the nfsd pool, the way the BSD network
+// interrupt handed mbuf chains to sleeping nfsds. A reader that owns its
+// socket (reuseport) drains the kernel backlog per wakeup through the
+// non-blocking drainRead probe — take what's queued, never wait for more —
+// so the batch flushes the instant the backlog is dry and coalescing never
+// holds a reply while the socket idles. Readers sharing one socket take
+// plain blocking reads — they pipeline staging against the descriptor's
+// read lock but must leave the shared deadline alone.
 func (s *Server) readUDP(r *udpReader) {
 	defer s.readerWG.Done()
 	defer close(r.ring)
 	owned := s.reuse
 	var cache mbuf.Cache
 	defer cache.Drain()
+	batch := newSendBatch(r.conn, true, s.sendBatches, s.sendMsgs, s.stages)
+	defer batch.flush()
+	var peers peerCache
+	var probe recvProbe
+	// One span, reused per fast-path datagram (add copies it by value);
+	// a per-datagram span would escape through the call chain.
+	var sp metrics.Span
 	buf := make([]byte, 65536)
 	for {
 		// Checked on the success path too: under a continuous flood reads
@@ -370,7 +417,7 @@ func (s *Server) readUDP(r *udpReader) {
 		if owned {
 			r.conn.SetReadDeadline(time.Now().Add(readerPoll))
 		}
-		n, addr, err := r.conn.ReadFromUDP(buf)
+		n, addr, err := r.conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			if s.closing() {
 				return
@@ -378,24 +425,76 @@ func (s *Server) readUDP(r *udpReader) {
 			continue
 		}
 		r.wakeups.Inc()
-		for batch := 0; ; {
+		for nread := 0; ; {
 			t0 := time.Now()
-			req := cache.FromBytes(buf[:n])
 			r.reads.Inc()
-			r.ring <- udpJob{addr: addr, req: req, t0: t0, readNS: int64(time.Since(t0))}
-			batch++
-			if !owned || batch >= maxBatch {
+			if !s.tryFast(r, batch, &peers, buf[:n], addr, t0, &sp) {
+				req := cache.FromBytes(buf[:n])
+				r.ring <- udpJob{addr: addr, req: req, t0: t0, readNS: int64(time.Since(t0))}
+			}
+			nread++
+			if !owned || nread >= maxBatch {
 				break
 			}
-			// Drain what the kernel already queued behind this wakeup. The
-			// short deadline bounds the wait for an empty queue; a datagram
-			// arriving inside it is simply taken early.
-			r.conn.SetReadDeadline(time.Now().Add(batchPoll))
-			if n, addr, err = r.conn.ReadFromUDP(buf); err != nil {
+			var more bool
+			if n, addr, more = drainRead(r.conn, &probe, batch, buf); !more {
 				break
 			}
 		}
+		batch.flush()
 	}
+}
+
+// drainReadDeadline is the portable drain used where no non-blocking probe
+// exists: the read can park for the whole batch window on an empty queue,
+// so staged replies flush first — the window still amortizes wakeups but
+// must never hold a reply. A datagram arriving inside it is taken early.
+func drainReadDeadline(conn *net.UDPConn, b *sendBatch, buf []byte) (int, netip.AddrPort, bool) {
+	b.flush()
+	conn.SetReadDeadline(time.Now().Add(batchPoll))
+	n, addr, err := conn.ReadFromUDPAddrPort(buf)
+	return n, addr, err == nil
+}
+
+// tryFast offers one datagram to the shallow dispatch path. True means the
+// datagram was consumed here — serviced inline (reply staged in b) or
+// dropped by the crash window, exactly as the generic path would have
+// dropped it. False means the caller must stage it for the generic pool;
+// when the datagram had been classified fast-eligible that punt is counted
+// as a fallback.
+func (s *Server) tryFast(r *udpReader, b *sendBatch, peers *peerCache, pkt []byte, addr netip.AddrPort, t0 time.Time, sp *metrics.Span) bool {
+	if s.fastOff {
+		return false
+	}
+	var h rpc.PeekedCall
+	argOff, ok := rpc.PeekCallHeader(pkt, &h)
+	if !ok || !server.FastEligible(&h) {
+		return false
+	}
+	sp.Reset(t0)
+	sp.Stamp(metrics.StageRead)
+	sp.SetCall(h.XID, h.Proc)
+	sp.Stamp(metrics.StageDecode)
+	crashSite.RLock(&s.crashMu, sp)
+	if s.srv.Down() {
+		s.crashMu.RUnlock()
+		r.fast.Inc()
+		sp.SetErr()
+		s.stages.Record(sp)
+		return true // crashed: the request vanishes, like the generic drop
+	}
+	peer := peers.get(addr)
+	sp.Peer = peer
+	rep, ok := s.srv.HandleCallFast(peer, pkt, &h, argOff, b.scratch(), sp)
+	s.crashMu.RUnlock()
+	if !ok {
+		s.fastFallbacks.Inc()
+		return false
+	}
+	r.fast.Inc()
+	s.fastCalls.Inc()
+	b.add(rep, addr, sp)
+	return true
 }
 
 // nfsd is one worker of the dispatch pool, permanently attached to the
@@ -408,15 +507,25 @@ func (s *Server) nfsd(id int) {
 	r := s.readers[id%len(s.readers)]
 	calls := s.srv.Metrics.Counter(fmt.Sprintf("rpc.nfsd.%d.calls", id))
 	busyUS := s.srv.Metrics.Counter(fmt.Sprintf("rpc.nfsd.%d.busy_us", id))
+	// Replies coalesce per burst: as long as the ring has more jobs queued
+	// the batch keeps accumulating, and it flushes the moment the ring runs
+	// momentarily dry (or the batch fills), so a storm of small replies
+	// leaves in a handful of send syscalls without delaying a lone reply.
+	batch := newSendBatch(r.conn, false, s.sendBatches, s.sendMsgs, s.stages)
+	defer batch.flush()
+	// Peer tracing/dupcache labels are interned per source address — the
+	// per-request "udp:"+addr.String() formatting was one alloc/op.
+	var peers peerCache
 	// One span per worker, reused for every request: a per-iteration span
 	// would escape to the heap through the cross-package call chain and
-	// cost an allocation per RPC (Record copies by value, never retains).
+	// cost an allocation per RPC (Record and add copy by value, never
+	// retain).
 	var sp metrics.Span
-	for job := range r.ring {
+	for job, ok := <-r.ring; ok; {
 		start := time.Now()
 		sp.Reset(job.t0)
 		sp.Worker = int32(id)
-		peer := "udp:" + job.addr.String()
+		peer := peers.get(job.addr)
 		sp.Peer = peer
 		sp.SetStageEnd(metrics.StageRead, job.readNS)
 		sp.Stamp(metrics.StageQueue)
@@ -424,10 +533,20 @@ func (s *Server) nfsd(id int) {
 		busyUS.Add(time.Since(start).Microseconds())
 		calls.Inc()
 		if rep != nil {
-			r.conn.WriteToUDP(rep, job.addr)
-			sp.Stamp(metrics.StageSend)
+			batch.add(rep, job.addr, &sp)
+		} else {
+			s.stages.Record(&sp)
 		}
-		s.stages.Record(&sp)
+		// Take the next job without blocking if the burst continues; flush
+		// the staged replies before blocking on an empty ring. (A closed
+		// ring falls through with ok=false and the deferred flush sends the
+		// tail.)
+		select {
+		case job, ok = <-r.ring:
+		default:
+			batch.flush()
+			job, ok = <-r.ring
+		}
 	}
 }
 

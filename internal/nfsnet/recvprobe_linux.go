@@ -1,0 +1,130 @@
+//go:build linux
+
+package nfsnet
+
+import (
+	"net"
+	"net/netip"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// The non-blocking drain probe: recvfrom(MSG_DONTWAIT) through a cached
+// raw connection. The drain loop's contract is recvmmsg's — take the
+// datagrams the kernel has already queued behind a wakeup, never wait for
+// more — and a positive read deadline cannot express it: the read parks
+// for the whole window when the queue is empty, holding any fast-path
+// replies staged in the send batch (an expired deadline is no better: the
+// runtime fails the read without issuing the syscall, so queued data is
+// unreachable). The probe returns queued data or EAGAIN immediately, so a
+// lone reply flushes as soon as the backlog is drained.
+
+// sysRecvfrom is the recvfrom(2) syscall number per arch (the same frozen
+// stdlib-table situation as sysSendmmsg). 0 degrades to the portable
+// flush-then-deadline drain.
+var sysRecvfrom = map[string]uintptr{
+	"amd64":   45,
+	"arm64":   207, // generic syscall table (also riscv64, loong64)
+	"riscv64": 207,
+	"loong64": 207,
+	"386":     371,
+	"arm":     292,
+}[runtime.GOARCH]
+
+// recvProbe is one reader's reusable probe state. The raw connection and
+// callback are built once (SyscallConn and a fresh closure would each
+// allocate per datagram); buf/rsa/n/ok carry arguments and results across
+// fn invocations.
+type recvProbe struct {
+	rc     syscall.RawConn
+	rcErr  bool
+	fn     func(fd uintptr) bool
+	buf    []byte
+	rsa    syscall.RawSockaddrAny
+	rsaLen uint32
+	n      int
+	ok     bool
+}
+
+// init readies the cached raw connection and callback. false means raw
+// access is unavailable and the caller must use the portable drain.
+func (p *recvProbe) init(conn *net.UDPConn) bool {
+	if sysRecvfrom == 0 {
+		return false
+	}
+	if p.rc != nil {
+		return true
+	}
+	if p.rcErr {
+		return false
+	}
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		p.rcErr = true
+		return false
+	}
+	p.rc = rc
+	p.fn = func(fd uintptr) bool {
+		p.ok = false
+		for {
+			p.rsaLen = uint32(unsafe.Sizeof(p.rsa))
+			n, _, errno := syscall.Syscall6(sysRecvfrom, fd,
+				uintptr(unsafe.Pointer(&p.buf[0])), uintptr(len(p.buf)),
+				syscall.MSG_DONTWAIT,
+				uintptr(unsafe.Pointer(&p.rsa)), uintptr(unsafe.Pointer(&p.rsaLen)))
+			if errno == syscall.EINTR {
+				continue
+			}
+			// Always true: a probe never parks the goroutine. EAGAIN (empty
+			// queue) and real errors both read as "no more queued here" —
+			// the reader falls back to its blocking read, which surfaces any
+			// persistent socket error the normal way.
+			if errno != 0 {
+				return true
+			}
+			p.n = int(n)
+			p.ok = true
+			return true
+		}
+	}
+	return true
+}
+
+// getPort reads a network-byte-order port whatever the host endianness
+// (putPort's inverse).
+func getPort(src *uint16) uint16 {
+	b := (*[2]byte)(unsafe.Pointer(src))
+	return uint16(b[0])<<8 | uint16(b[1])
+}
+
+// source decodes the probed datagram's sender. The kernel's bytes are
+// mirrored exactly (no 4-in-6 unmapping) so the address matches what
+// ReadFromUDPAddrPort reports for the same peer on the same socket — one
+// peerCache key per peer, and a reply address the socket family accepts.
+func (p *recvProbe) source() netip.AddrPort {
+	switch p.rsa.Addr.Family {
+	case syscall.AF_INET:
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(&p.rsa))
+		return netip.AddrPortFrom(netip.AddrFrom4(sa.Addr), getPort(&sa.Port))
+	case syscall.AF_INET6:
+		sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(&p.rsa))
+		return netip.AddrPortFrom(netip.AddrFrom16(sa.Addr), getPort(&sa.Port))
+	}
+	return netip.AddrPort{}
+}
+
+// drainRead takes the next datagram the kernel already queued, without
+// waiting: (n, source, true), or ok=false the instant the queue is empty.
+func drainRead(conn *net.UDPConn, p *recvProbe, b *sendBatch, buf []byte) (int, netip.AddrPort, bool) {
+	if !p.init(conn) {
+		return drainReadDeadline(conn, b, buf)
+	}
+	p.buf = buf
+	err := p.rc.Read(p.fn)
+	runtime.KeepAlive(p)
+	if err != nil || !p.ok {
+		return 0, netip.AddrPort{}, false
+	}
+	return p.n, p.source(), true
+}

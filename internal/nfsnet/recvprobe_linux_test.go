@@ -1,0 +1,85 @@
+//go:build linux
+
+package nfsnet
+
+import (
+	"bytes"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"renonfs/internal/metrics"
+)
+
+// TestRecvProbe pins the drain probe's contract: queued datagrams come
+// back with their payload and true source, an empty queue answers
+// immediately (never parking for the batch window), and the whole probe
+// path allocates nothing after the first call.
+func TestRecvProbe(t *testing.T) {
+	srv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	dst := srv.LocalAddr().(*net.UDPAddr)
+
+	var probe recvProbe
+	reg := metrics.NewRegistry()
+	stats := metrics.NewStageStats(reg, metrics.DefaultSlowSpans)
+	b := newSendBatch(srv, true, reg.Counter("b"), reg.Counter("m"), stats)
+	buf := make([]byte, 65536)
+
+	// The future deadline a real reader would have armed before its
+	// blocking read; the probe must not be confused by it.
+	srv.SetReadDeadline(time.Now().Add(readerPoll))
+
+	payload := []byte("probe-me")
+	if _, err := cl.WriteToUDP(payload, dst); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	var n int
+	var ok bool
+	for {
+		var src netip.AddrPort
+		if n, src, ok = drainRead(srv, &probe, b, buf); ok {
+			if !bytes.Equal(buf[:n], payload) {
+				t.Fatalf("probe read %q, want %q", buf[:n], payload)
+			}
+			want := cl.LocalAddr().(*net.UDPAddr)
+			if int(src.Port()) != want.Port || !src.Addr().Is4() {
+				t.Fatalf("probe source = %v, want %v", src, want)
+			}
+			break
+		}
+		// The datagram may not have landed in the socket queue yet.
+		if time.Now().After(deadline) {
+			t.Fatal("queued datagram never became probe-readable")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Empty queue: the probe must answer false without parking. Allow a
+	// generous bound — the failure mode being excluded is a batchPoll (or
+	// readerPoll) park, orders of magnitude larger.
+	start := time.Now()
+	if _, _, ok = drainRead(srv, &probe, b, buf); ok {
+		t.Fatal("probe read a datagram from an empty queue")
+	}
+	if el := time.Since(start); el > 100*time.Millisecond {
+		t.Fatalf("empty-queue probe took %v; want immediate return", el)
+	}
+
+	if sysRecvfrom != 0 {
+		avg := testing.AllocsPerRun(100, func() { drainRead(srv, &probe, b, buf) })
+		if avg != 0 {
+			t.Fatalf("empty-queue probe allocates %.1f/op, want 0", avg)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+//go:build !linux
+
+package nfsnet
+
+import (
+	"net"
+	"net/netip"
+)
+
+// recvProbe is empty where there is no raw non-blocking receive.
+type recvProbe struct{}
+
+// drainRead degrades to the portable flush-then-deadline drain off Linux.
+func drainRead(conn *net.UDPConn, _ *recvProbe, b *sendBatch, buf []byte) (int, netip.AddrPort, bool) {
+	return drainReadDeadline(conn, b, buf)
+}

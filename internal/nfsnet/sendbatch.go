@@ -1,0 +1,132 @@
+package nfsnet
+
+import (
+	"net"
+	"net/netip"
+
+	"renonfs/internal/metrics"
+	"renonfs/internal/server"
+)
+
+// Reply coalescing (DESIGN.md §3.4). A remount herd or retransmit storm
+// delivers datagram bursts; answering each small reply with its own
+// WriteToUDP pays one syscall per RPC — the per-packet overhead the paper's
+// §3 profile complains about, relocated to the send side. Fast-path
+// readers and nfsd workers instead stage small replies bound for their
+// shard socket in a sendBatch and flush it with one sendmmsg on Linux
+// (sendmmsg_linux.go; a loop of WriteToUDPAddrPort elsewhere) whenever the
+// burst is drained, the batch fills, or the fast-path arena runs low.
+// Nothing is held across an idle socket: a flush always happens before the
+// owner blocks again, so coalescing adds microseconds of queueing inside a
+// burst and zero latency outside one.
+
+// maxPeerCache bounds a peer-label interning table; past it the table is
+// reset so a peer-churn storm cannot pin unbounded label memory.
+const maxPeerCache = 16384
+
+// peerCache interns the "udp:<addr>" tracing/dupcache label per source
+// address — the hot path stops paying a formatting allocation per request.
+// One per goroutine (reader or worker), so no locking.
+type peerCache map[netip.AddrPort]string
+
+func (pc *peerCache) get(addr netip.AddrPort) string {
+	if s, ok := (*pc)[addr]; ok {
+		return s
+	}
+	if *pc == nil || len(*pc) >= maxPeerCache {
+		*pc = make(peerCache, 64)
+	}
+	s := "udp:" + addr.String()
+	(*pc)[addr] = s
+	return s
+}
+
+// batchMsg is one reply staged for a coalesced send.
+type batchMsg struct {
+	buf  []byte
+	addr netip.AddrPort
+}
+
+// sendBatch accumulates replies leaving on one socket. Readers carry one
+// with an arena (fast-path replies are encoded straight into it); workers
+// carry one without (generic replies already own their buffers). The spans
+// ride along so StageSend is stamped at the actual send.
+type sendBatch struct {
+	conn  *net.UDPConn
+	msgs  []batchMsg
+	spans []metrics.Span
+	// arena backs fast-path reply encoding; off is the high-water mark of
+	// the staged replies within it.
+	arena []byte
+	off   int
+	// mm is reusable platform scratch for the sendmmsg writer.
+	mm mmsgState
+	// batches counts send syscalls issued; batched the replies sent through
+	// the writer — batches/batched is the syscalls-per-reply ratio.
+	batches, batched *metrics.Counter
+	stages           *metrics.StageStats
+}
+
+func newSendBatch(conn *net.UDPConn, withArena bool, batches, batched *metrics.Counter, stages *metrics.StageStats) *sendBatch {
+	b := &sendBatch{
+		conn:    conn,
+		msgs:    make([]batchMsg, 0, maxBatch),
+		spans:   make([]metrics.Span, 0, maxBatch),
+		batches: batches,
+		batched: batched,
+		stages:  stages,
+	}
+	if withArena {
+		b.arena = make([]byte, maxBatch*server.FastReplyMax)
+	}
+	return b
+}
+
+// scratch returns a zero-length slice at the arena tail with at least
+// FastReplyMax spare capacity, flushing staged replies first when the
+// batch or the arena is full. Fast-path replies append into it without
+// ever reallocating, so the arena slice handed to add aliases the arena.
+func (b *sendBatch) scratch() []byte {
+	if len(b.msgs) == cap(b.msgs) || len(b.arena)-b.off < server.FastReplyMax {
+		b.flush()
+	}
+	return b.arena[b.off:b.off]
+}
+
+// add stages one reply and a copy of its span. buf must be the slice
+// returned by the service call: for arena batches it extends the scratch
+// region, and off advances past it.
+func (b *sendBatch) add(buf []byte, addr netip.AddrPort, sp *metrics.Span) {
+	if b.arena != nil {
+		b.off += len(buf)
+	} else if len(b.msgs) == cap(b.msgs) {
+		b.flush()
+	}
+	b.msgs = append(b.msgs, batchMsg{buf: buf, addr: addr})
+	b.spans = append(b.spans, *sp)
+}
+
+// flush sends every staged reply, then stamps and records their spans.
+func (b *sendBatch) flush() {
+	if len(b.msgs) > 0 {
+		sys := sendMulti(b.conn, b.msgs, &b.mm)
+		b.batches.Add(int64(sys))
+		b.batched.Add(int64(len(b.msgs)))
+		for i := range b.spans {
+			b.spans[i].Stamp(metrics.StageSend)
+			b.stages.Record(&b.spans[i])
+		}
+		b.msgs = b.msgs[:0]
+		b.spans = b.spans[:0]
+	}
+	b.off = 0
+}
+
+// sendLoop is the portable writer: one syscall per reply. Send errors are
+// ignored, as they are for unbatched replies — UDP owes nobody delivery.
+func sendLoop(conn *net.UDPConn, msgs []batchMsg) int {
+	for i := range msgs {
+		conn.WriteToUDPAddrPort(msgs[i].buf, msgs[i].addr)
+	}
+	return len(msgs)
+}

@@ -1,0 +1,67 @@
+package nfsnet
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"renonfs/internal/metrics"
+)
+
+// TestAllocBudgetBatchedSend pins the batched reply writer to zero
+// steady-state allocations: staging a burst into the arena, stamping the
+// spans and flushing through sendMulti must reuse every piece of scratch
+// (msgs, spans, arena, the sendmmsg header/iovec/sockaddr arrays).
+func TestAllocBudgetBatchedSend(t *testing.T) {
+	sink, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	dst := sink.LocalAddr().(*net.UDPAddr).AddrPort()
+	// Map into the 4-byte family: netip keeps 127.0.0.1 as v4, but be
+	// explicit so the test exercises the same sockaddr shape the readers do.
+	dst = netip.AddrPortFrom(dst.Addr().Unmap(), dst.Port())
+
+	reg := metrics.NewRegistry()
+	stats := metrics.NewStageStats(reg, metrics.DefaultSlowSpans)
+	b := newSendBatch(conn, true, reg.Counter("b"), reg.Counter("m"), stats)
+	defer b.flush()
+
+	payload := make([]byte, 96)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var sp metrics.Span
+	burst := func() {
+		for j := 0; j < 16; j++ {
+			out := b.scratch()
+			out = append(out, payload...)
+			sp.Reset(time.Now())
+			sp.Stamp(metrics.StageRead)
+			sp.Stamp(metrics.StageEncode)
+			b.add(out, dst, &sp)
+		}
+		b.flush()
+	}
+	for i := 0; i < 8; i++ { // fill scratch arrays to steady state
+		burst()
+	}
+	got := testing.AllocsPerRun(100, burst)
+	t.Logf("batched send, 16-reply burst: %.1f allocs (budget 0)", got)
+	if got > 0 {
+		t.Errorf("batched send allocates %.1f per 16-reply burst, want 0", got)
+	}
+	if v := reg.Counter("m").Value(); v == 0 {
+		t.Fatal("batched writer recorded no messages")
+	}
+	if bt, mt := reg.Counter("b").Value(), reg.Counter("m").Value(); bt >= mt {
+		t.Errorf("batches %d >= msgs %d: coalescing never engaged", bt, mt)
+	}
+}

@@ -1,0 +1,136 @@
+//go:build linux
+
+package nfsnet
+
+import (
+	"net"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// The sendmmsg(2) batch writer: one syscall delivers a whole sendBatch.
+// Linux has had it since 3.0; it is to sendto what the ingest path's
+// batched drain is to recvfrom. The headers, iovecs and raw sockaddrs are
+// kept in reusable per-batch scratch (mmsgState) so a steady stream of
+// flushes allocates nothing.
+
+// mmsghdr mirrors struct mmsghdr: a msghdr plus the kernel's bytes-sent
+// out-parameter. Go's alignment rules reproduce the C layout on every
+// linux arch (msghdr carries pointer alignment; the trailing pad matches).
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+}
+
+// mmsgState is the reusable scratch behind sendMulti. The raw connection
+// and the write callback are built once and reused — SyscallConn and a
+// fresh closure would each allocate per flush, and the flush path is pinned
+// to zero steady-state allocations.
+type mmsgState struct {
+	hdrs []mmsghdr
+	iovs []syscall.Iovec
+	sa4  []syscall.RawSockaddrInet4
+	sa6  []syscall.RawSockaddrInet6
+
+	rc    syscall.RawConn
+	rcErr bool
+	fn    func(fd uintptr) bool
+	// want/sent/syscalls carry arguments and results across fn invocations.
+	want, sent, syscalls int
+}
+
+// init readies the cached raw connection and callback. false means raw
+// access is unavailable and the caller must use the portable loop.
+func (st *mmsgState) init(conn *net.UDPConn) bool {
+	if st.rc != nil {
+		return true
+	}
+	if st.rcErr {
+		return false
+	}
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		st.rcErr = true
+		return false
+	}
+	st.rc = rc
+	st.fn = func(fd uintptr) bool {
+		for st.sent < st.want {
+			n, _, errno := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&st.hdrs[st.sent])), uintptr(st.want-st.sent), 0, 0, 0)
+			st.syscalls++
+			switch {
+			case errno == syscall.EINTR:
+				continue
+			case errno == syscall.EAGAIN:
+				return false // wait for the socket to drain, then retry
+			case errno != 0:
+				return true // give up on the batch; the caller's loop mops up
+			default:
+				st.sent += int(n)
+			}
+		}
+		return true
+	}
+	return true
+}
+
+func (st *mmsgState) grow(n int) {
+	if cap(st.hdrs) < n {
+		st.hdrs = make([]mmsghdr, n)
+		st.iovs = make([]syscall.Iovec, n)
+		st.sa4 = make([]syscall.RawSockaddrInet4, n)
+		st.sa6 = make([]syscall.RawSockaddrInet6, n)
+	}
+	st.hdrs = st.hdrs[:n]
+	st.iovs = st.iovs[:n]
+	st.sa4 = st.sa4[:n]
+	st.sa6 = st.sa6[:n]
+}
+
+// putPort stores p in network byte order whatever the host endianness.
+func putPort(dst *uint16, p uint16) {
+	*(*[2]byte)(unsafe.Pointer(dst)) = [2]byte{byte(p >> 8), byte(p)}
+}
+
+// sendMulti sends every staged reply and returns the number of send
+// syscalls it took. Singleton batches skip straight to the plain writer;
+// failures degrade to the portable loop for whatever remains unsent.
+func sendMulti(conn *net.UDPConn, msgs []batchMsg, st *mmsgState) int {
+	if len(msgs) == 1 || sysSendmmsg == 0 || !st.init(conn) {
+		return sendLoop(conn, msgs)
+	}
+	st.grow(len(msgs))
+	for i := range msgs {
+		m := &msgs[i]
+		st.iovs[i] = syscall.Iovec{Base: &m.buf[0]}
+		st.iovs[i].SetLen(len(m.buf))
+		h := &st.hdrs[i]
+		*h = mmsghdr{}
+		h.hdr.Iov = &st.iovs[i]
+		h.hdr.Iovlen = 1
+		if a := m.addr.Addr(); a.Is4() {
+			sa := &st.sa4[i]
+			sa.Family = syscall.AF_INET
+			putPort(&sa.Port, m.addr.Port())
+			sa.Addr = a.As4()
+			h.hdr.Name = (*byte)(unsafe.Pointer(sa))
+			h.hdr.Namelen = syscall.SizeofSockaddrInet4
+		} else {
+			sa := &st.sa6[i]
+			sa.Family = syscall.AF_INET6
+			putPort(&sa.Port, m.addr.Port())
+			sa.Addr = a.As16()
+			h.hdr.Name = (*byte)(unsafe.Pointer(sa))
+			h.hdr.Namelen = syscall.SizeofSockaddrInet6
+		}
+	}
+	st.want, st.sent, st.syscalls = len(msgs), 0, 0
+	werr := st.rc.Write(st.fn)
+	runtime.KeepAlive(st)
+	if st.sent < len(msgs) || werr != nil {
+		st.syscalls += sendLoop(conn, msgs[st.sent:])
+	}
+	return st.syscalls
+}

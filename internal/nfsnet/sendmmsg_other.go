@@ -1,0 +1,13 @@
+//go:build !linux
+
+package nfsnet
+
+import "net"
+
+// mmsgState is empty where there is no batch send syscall.
+type mmsgState struct{}
+
+// sendMulti degrades to one send syscall per reply off Linux.
+func sendMulti(conn *net.UDPConn, msgs []batchMsg, _ *mmsgState) int {
+	return sendLoop(conn, msgs)
+}

@@ -1,0 +1,18 @@
+//go:build linux && (amd64 || arm64 || riscv64 || loong64 || 386 || arm)
+
+package nfsnet
+
+import "runtime"
+
+// sysSendmmsg is the sendmmsg(2) syscall number — the frozen stdlib
+// syscall tables predate it, so it is spelled out per arch here. Arches
+// not listed in the build tag fall back to the one-send-per-reply loop
+// (sendmmsg_sysnum_other.go).
+var sysSendmmsg = map[string]uintptr{
+	"amd64":   307,
+	"arm64":   269, // generic syscall table (also riscv64, loong64)
+	"riscv64": 269,
+	"loong64": 269,
+	"386":     345,
+	"arm":     374,
+}[runtime.GOARCH]

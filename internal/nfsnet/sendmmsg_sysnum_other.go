@@ -1,0 +1,7 @@
+//go:build linux && !amd64 && !arm64 && !riscv64 && !loong64 && !386 && !arm
+
+package nfsnet
+
+// Unlisted arches have no sendmmsg number wired up; sendMulti degrades to
+// the portable loop.
+const sysSendmmsg uintptr = 0

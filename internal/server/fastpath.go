@@ -1,0 +1,283 @@
+package server
+
+import (
+	"time"
+
+	"renonfs/internal/memfs"
+	"renonfs/internal/metrics"
+	"renonfs/internal/nfsproto"
+	"renonfs/internal/rpc"
+	"renonfs/internal/xdr"
+)
+
+// The shallow dispatch path (DESIGN.md §3.4). Header-only procedures —
+// NULL, GETATTR, LOOKUP, small READDIRs, STATFS and the MOUNT herd — carry
+// their whole request in one datagram and produce a small bounded reply,
+// so the mbuf chain assembly, the full RPC decoder and the chain encoder
+// that payload-bearing procedures need are pure overhead for them. The
+// ingest readers classify each datagram with rpc.PeekCallHeader and, when
+// FastEligible says so, call HandleCallFast to service it in place: flat
+// byte-slice argument decode, the same cache/lease/FS internals as the
+// generic handlers, and a flat reply encode into a caller-provided scratch
+// region.
+//
+// Fallback discipline: HandleCallFast decodes arguments and validates
+// bounds BEFORE touching any counter, cache or table. If anything is off —
+// short datagram, oversized name, READDIR window out of the fast range —
+// it returns ok=false having had no side effects, and the caller stages
+// the datagram onto the generic path, which re-runs the full decode and
+// owns the error reply. A datagram is therefore counted and serviced
+// exactly once whichever path it ends on, and the equivalence test pins
+// the replies byte-for-byte against HandleCall's.
+
+const (
+	// FastReplyMax bounds a fast-path reply. The largest producer is a
+	// READDIR at fastReaddirMax budget: ≤ ~120 entries × (16 bytes + padded
+	// name) stays under 2.5 KB, and every other fast reply is ≤ 128 bytes.
+	// Scratch regions sized to this never need a mid-service fallback.
+	FastReplyMax = 4096
+	// fastReaddirMax is the largest READDIR count argument serviced on the
+	// fast path; bigger windows (nfsproto.MaxData-sized sweeps) go generic.
+	fastReaddirMax = 2048
+)
+
+// FastEligible reports whether a peeked call may take the shallow path.
+// Eligibility is by procedure only — argument-dependent limits (the
+// READDIR window) are checked after decode and fall back without side
+// effects.
+func FastEligible(h *rpc.PeekedCall) bool {
+	if h.Prog == nfsproto.Program && h.Vers == nfsproto.Version {
+		switch h.Proc {
+		case nfsproto.ProcNull, nfsproto.ProcGetattr, nfsproto.ProcLookup,
+			nfsproto.ProcReaddir, nfsproto.ProcStatfs:
+			return true
+		}
+		return false
+	}
+	if h.Prog == nfsproto.MountProgram && h.Vers == nfsproto.MountVersion {
+		return h.Proc == nfsproto.MountProcNull || h.Proc == nfsproto.MountProcMnt
+	}
+	return false
+}
+
+// HandleCallFast services one fast-eligible datagram in place. req is the
+// raw datagram, h/argOff the result of rpc.PeekCallHeader, out a scratch
+// slice (len 0, cap ≥ FastReplyMax) the reply is appended to. It returns
+// the reply bytes and ok=true, or (nil, false) — with no side effects —
+// when the call must take the generic path. sp may be nil.
+func (s *Server) HandleCallFast(peer string, req []byte, h *rpc.PeekedCall, argOff int, out []byte, sp *metrics.Span) ([]byte, bool) {
+	if argOff > len(req) {
+		return nil, false
+	}
+	var r xdr.ByteReader
+	r.ResetBytes(req[argOff:])
+	var w xdr.ByteWriter
+	w.ResetBytes(out)
+
+	// MOUNT program: mirrors HandleCallSpan's mount branch — bytes counters
+	// only, no per-proc stats, no service histogram, no tracer emit.
+	if h.Prog == nfsproto.MountProgram {
+		switch h.Proc {
+		case nfsproto.MountProcNull:
+			rpc.AppendReplyHeader(&w, h.XID, rpc.Success)
+		case nfsproto.MountProcMnt:
+			b := r.Opaque(nfsproto.MountMaxPath)
+			if !r.OK() {
+				return nil, false
+			}
+			path := string(b)
+			rpc.AppendReplyHeader(&w, h.XID, rpc.Success)
+			n, status := s.lookupExportPath(path)
+			if status != mntOK {
+				(&nfsproto.MntRes{Status: uint32(status)}).EncodeBytes(&w)
+				break
+			}
+			st := s.mountState()
+			st.mu.Lock()
+			st.mounts[peer+" "+path] = nfsproto.MountEntry{Host: peer, Dir: path}
+			st.mu.Unlock()
+			(&nfsproto.MntRes{Status: mntOK, File: s.FS.FH(n)}).EncodeBytes(&w)
+		default:
+			return nil, false
+		}
+		sp.Stamp(metrics.StageService)
+		sp.Stamp(metrics.StageEncode)
+		s.Stats.BytesIn.Add(int64(len(req)))
+		s.cBytesIn.Add(int64(len(req)))
+		s.Stats.BytesOut.Add(int64(w.Len() - len(out)))
+		s.cBytesOut.Add(int64(w.Len() - len(out)))
+		return w.Bytes(), true
+	}
+
+	// NFS program: decode arguments first (pure — a fallback from here has
+	// executed nothing), then mirror HandleCallSpan's counter ordering.
+	var (
+		fh     nfsproto.FH
+		name   string
+		cookie uint32
+		count  uint32
+	)
+	switch h.Proc {
+	case nfsproto.ProcNull:
+	case nfsproto.ProcGetattr, nfsproto.ProcStatfs:
+		copy(fh[:], r.FixedOpaque(nfsproto.FHSize))
+		if !r.OK() {
+			return nil, false
+		}
+	case nfsproto.ProcLookup:
+		copy(fh[:], r.FixedOpaque(nfsproto.FHSize))
+		b := r.Opaque(nfsproto.MaxNameLen)
+		if !r.OK() {
+			return nil, false
+		}
+		name = string(b)
+	case nfsproto.ProcReaddir:
+		copy(fh[:], r.FixedOpaque(nfsproto.FHSize))
+		cookie = r.Uint32()
+		count = r.Uint32()
+		if !r.OK() || count == 0 || count > fastReaddirMax {
+			return nil, false
+		}
+	default:
+		return nil, false
+	}
+
+	s.Stats.BytesIn.Add(int64(len(req)))
+	s.cBytesIn.Add(int64(len(req)))
+	s.Stats.Calls[h.Proc].Add(1)
+	s.cCalls.Add(1)
+	s.procCalls[h.Proc].Add(1)
+	begin := time.Since(s.epoch)
+
+	rpc.AppendReplyHeader(&w, h.XID, rpc.Success)
+	switch h.Proc {
+	case nfsproto.ProcNull:
+	case nfsproto.ProcGetattr:
+		s.fastGetattr(peer, fh, &w)
+	case nfsproto.ProcLookup:
+		s.fastLookup(peer, fh, name, &w, sp)
+	case nfsproto.ProcReaddir:
+		s.fastReaddir(fh, cookie, count, &w, sp)
+	case nfsproto.ProcStatfs:
+		res := s.FS.Statfs()
+		res.EncodeBytes(&w)
+	}
+	sp.Stamp(metrics.StageService)
+	sp.Stamp(metrics.StageEncode)
+
+	svc := time.Since(s.epoch) - begin
+	s.procSvc[h.Proc].ObserveDuration(svc)
+	if s.Tracer != nil { // guard: boxing the event allocates even when untraced
+		metrics.Emit(s.Tracer, metrics.ServerCall{
+			Proc: h.Proc, Peer: peer, XID: h.XID,
+			Service: svc,
+		})
+	}
+	s.Stats.BytesOut.Add(int64(w.Len() - len(out)))
+	s.cBytesOut.Add(int64(w.Len() - len(out)))
+	return w.Bytes(), true
+}
+
+func (s *Server) fastGetattr(peer string, fh nfsproto.FH, w *xdr.ByteWriter) {
+	if s.leaseConflict(nil, fh, false, peer) {
+		(&nfsproto.AttrRes{Status: nfsproto.ErrTryLater}).EncodeBytes(w)
+		return
+	}
+	n, err := s.FS.Resolve(fh)
+	if err != nil {
+		(&nfsproto.AttrRes{Status: errStatus(err)}).EncodeBytes(w)
+		return
+	}
+	attr := s.FS.Attr(n)
+	(&nfsproto.AttrRes{Status: nfsproto.OK, Attr: &attr}).EncodeBytes(w)
+}
+
+func (s *Server) fastLookup(peer string, dirFH nfsproto.FH, name string, w *xdr.ByteWriter, sp *metrics.Span) {
+	dir, err := s.FS.Resolve(dirFH)
+	if err != nil {
+		(&nfsproto.DiropRes{Status: errStatus(err)}).EncodeBytes(w)
+		return
+	}
+	if s.namec.Enabled() {
+		if vn, vgen, neg, found := s.namec.Lookup(dir.Ino, dir.Gen, name, sp); found {
+			if neg {
+				(&nfsproto.DiropRes{Status: nfsproto.ErrNoEnt}).EncodeBytes(w)
+				return
+			}
+			if n, err := s.FS.Get(vn, vgen); err == nil {
+				if s.leaseConflict(nil, s.FS.FH(n), false, peer) {
+					(&nfsproto.DiropRes{Status: nfsproto.ErrTryLater}).EncodeBytes(w)
+					return
+				}
+				attr := s.FS.Attr(n)
+				(&nfsproto.DiropRes{Status: nfsproto.OK, File: s.FS.FH(n), Attr: &attr}).EncodeBytes(w)
+				return
+			}
+			s.namec.Remove(dir.Ino, dir.Gen, name)
+		}
+	}
+	s.scanDirectory(nil, dir, sp)
+	n, err := s.FS.Lookup(dir, name)
+	if err != nil {
+		if err == memfs.ErrNoEnt {
+			s.namec.EnterNegative(dir.Ino, dir.Gen, name, sp)
+		}
+		s.countErr()
+		(&nfsproto.DiropRes{Status: errStatus(err)}).EncodeBytes(w)
+		return
+	}
+	s.namec.Enter(dir.Ino, dir.Gen, name, n.Ino, n.Gen, sp)
+	if s.leaseConflict(nil, s.FS.FH(n), false, peer) {
+		(&nfsproto.DiropRes{Status: nfsproto.ErrTryLater}).EncodeBytes(w)
+		return
+	}
+	attr := s.FS.Attr(n)
+	(&nfsproto.DiropRes{Status: nfsproto.OK, File: s.FS.FH(n), Attr: &attr}).EncodeBytes(w)
+}
+
+// fastReaddir streams the entry list straight into w — same walk, same
+// budget arithmetic and same wire bytes as the generic readdir, minus its
+// scratch entry slice.
+func (s *Server) fastReaddir(dirFH nfsproto.FH, cookie, count uint32, w *xdr.ByteWriter, sp *metrics.Span) {
+	dir, err := s.FS.Resolve(dirFH)
+	if err != nil {
+		(&nfsproto.ReaddirRes{Status: errStatus(err)}).EncodeBytes(w)
+		return
+	}
+	if dir.Type != nfsproto.TypeDir {
+		(&nfsproto.ReaddirRes{Status: nfsproto.ErrNotDir}).EncodeBytes(w)
+		return
+	}
+	s.scanDirectory(nil, dir, sp)
+	ents := s.FS.DirEntries(dir)
+	w.PutUint32(uint32(nfsproto.OK))
+	budget := int(count) // caller bounds it to (0, fastReaddirMax]
+	used := 16           // status + eof + terminator
+	eof := true
+	total := len(ents) + 2
+	for i := int(cookie); i < total; i++ {
+		var fileID, next uint32
+		var name string
+		switch i {
+		case 0:
+			fileID, name, next = dir.Ino, ".", 1
+		case 1:
+			fileID, name, next = dir.Ino, "..", 2
+		default:
+			de := ents[i-2]
+			fileID, name, next = de.Ino, de.Name, uint32(i+1)
+		}
+		sz := 16 + len(name)
+		if used+sz > budget {
+			eof = false
+			break
+		}
+		w.PutBool(true) // entry follows
+		w.PutUint32(fileID)
+		w.PutString(name)
+		w.PutUint32(next)
+		used += sz
+	}
+	w.PutBool(false) // no more entries
+	w.PutBool(eof)
+}

@@ -1,0 +1,244 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"renonfs/internal/mbuf"
+	"renonfs/internal/nfsproto"
+	"renonfs/internal/rpc"
+	"renonfs/internal/xdr"
+)
+
+// encodeWire flattens one RPC call to the raw datagram bytes the UDP
+// readers would peek at.
+func encodeWire(xid, prog, vers, proc uint32, args func(e *xdr.Encoder)) []byte {
+	req := &mbuf.Chain{}
+	rpc.EncodeCall(req, &rpc.Call{XID: xid, Prog: prog, Vers: vers, Proc: proc})
+	if args != nil {
+		args(xdr.NewEncoder(req))
+	}
+	wire := append([]byte(nil), req.Bytes()...)
+	req.Free()
+	return wire
+}
+
+// fastReply runs wire through the shallow path. ok=false means it punted
+// to the generic path.
+func fastReply(t *testing.T, s *Server, peer string, wire []byte) ([]byte, bool) {
+	t.Helper()
+	var h rpc.PeekedCall
+	argOff, okPeek := rpc.PeekCallHeader(wire, &h)
+	if !okPeek {
+		t.Fatalf("PeekCallHeader refused a well-formed call")
+	}
+	if !FastEligible(&h) {
+		t.Fatalf("proc %d/%d/%d not fast-eligible", h.Prog, h.Vers, h.Proc)
+	}
+	out := make([]byte, 0, FastReplyMax)
+	return s.HandleCallFast(peer, wire, &h, argOff, out, nil)
+}
+
+// genericReply runs wire through the full dispatch path.
+func genericReply(t *testing.T, s *Server, peer string, wire []byte) []byte {
+	t.Helper()
+	rep := s.HandleCall(nil, peer, mbuf.FromBytes(wire))
+	if rep == nil {
+		t.Fatal("generic path returned nil reply")
+	}
+	b := append([]byte(nil), rep.Bytes()...)
+	rep.Free()
+	return b
+}
+
+// assertEquiv services wire on both paths — shallow first, so it sees the
+// same cache state — and pins the replies byte-for-byte.
+func assertEquiv(t *testing.T, s *Server, peer, label string, wire []byte) {
+	t.Helper()
+	fb, okFast := fastReply(t, s, peer, wire)
+	if !okFast {
+		t.Fatalf("%s: fast path refused an eligible call", label)
+	}
+	gb := genericReply(t, s, peer, wire)
+	if !bytes.Equal(fb, gb) {
+		t.Errorf("%s: replies diverge\n fast    %x\n generic %x", label, fb, gb)
+	}
+}
+
+// TestFastPathReplyEquivalence pins the shallow path's replies
+// byte-for-byte against the generic dispatcher for every fast-eligible
+// procedure, including the error paths.
+func TestFastPathReplyEquivalence(t *testing.T) {
+	s := newServer()
+	root := s.RootFH()
+	fileFH := mustCreate(t, s, root, "f")
+	for i := 0; i < 40; i++ {
+		mustCreate(t, s, root, fmt.Sprintf("bulk-%02d", i))
+	}
+	const peer = "udp:127.0.0.1:9999"
+	var stale nfsproto.FH
+	stale[0] = 0xde
+	stale[31] = 0xad
+
+	nfs := func(xid, proc uint32, args func(e *xdr.Encoder)) []byte {
+		return encodeWire(xid, nfsproto.Program, nfsproto.Version, proc, args)
+	}
+
+	assertEquiv(t, s, peer, "null", nfs(101, nfsproto.ProcNull, nil))
+	assertEquiv(t, s, peer, "getattr ok", nfs(102, nfsproto.ProcGetattr, func(e *xdr.Encoder) {
+		(&nfsproto.GetattrArgs{File: fileFH}).Encode(e)
+	}))
+	assertEquiv(t, s, peer, "getattr stale", nfs(103, nfsproto.ProcGetattr, func(e *xdr.Encoder) {
+		(&nfsproto.GetattrArgs{File: stale}).Encode(e)
+	}))
+	assertEquiv(t, s, peer, "lookup ok", nfs(104, nfsproto.ProcLookup, func(e *xdr.Encoder) {
+		(&nfsproto.DiropArgs{Dir: root, Name: "f"}).Encode(e)
+	}))
+	// Twice: the second pass answers from the name cache on both paths.
+	assertEquiv(t, s, peer, "lookup cached", nfs(105, nfsproto.ProcLookup, func(e *xdr.Encoder) {
+		(&nfsproto.DiropArgs{Dir: root, Name: "f"}).Encode(e)
+	}))
+	// ENOENT twice: the second pass hits the negative name cache.
+	for i, label := range []string{"lookup enoent", "lookup negcache"} {
+		assertEquiv(t, s, peer, label, nfs(uint32(106+i), nfsproto.ProcLookup, func(e *xdr.Encoder) {
+			(&nfsproto.DiropArgs{Dir: root, Name: "missing"}).Encode(e)
+		}))
+	}
+	assertEquiv(t, s, peer, "lookup notdir", nfs(108, nfsproto.ProcLookup, func(e *xdr.Encoder) {
+		(&nfsproto.DiropArgs{Dir: fileFH, Name: "x"}).Encode(e)
+	}))
+	assertEquiv(t, s, peer, "lookup stale dir", nfs(109, nfsproto.ProcLookup, func(e *xdr.Encoder) {
+		(&nfsproto.DiropArgs{Dir: stale, Name: "f"}).Encode(e)
+	}))
+	assertEquiv(t, s, peer, "readdir full", nfs(110, nfsproto.ProcReaddir, func(e *xdr.Encoder) {
+		(&nfsproto.ReaddirArgs{Dir: root, Count: 2048}).Encode(e)
+	}))
+	// A small budget truncates the listing (eof=false) identically.
+	assertEquiv(t, s, peer, "readdir truncated", nfs(111, nfsproto.ProcReaddir, func(e *xdr.Encoder) {
+		(&nfsproto.ReaddirArgs{Dir: root, Count: 256}).Encode(e)
+	}))
+	// Resume from a mid-listing cookie.
+	assertEquiv(t, s, peer, "readdir cookie", nfs(112, nfsproto.ProcReaddir, func(e *xdr.Encoder) {
+		(&nfsproto.ReaddirArgs{Dir: root, Cookie: 7, Count: 512}).Encode(e)
+	}))
+	assertEquiv(t, s, peer, "readdir notdir", nfs(113, nfsproto.ProcReaddir, func(e *xdr.Encoder) {
+		(&nfsproto.ReaddirArgs{Dir: fileFH, Count: 512}).Encode(e)
+	}))
+	assertEquiv(t, s, peer, "readdir stale", nfs(114, nfsproto.ProcReaddir, func(e *xdr.Encoder) {
+		(&nfsproto.ReaddirArgs{Dir: stale, Count: 512}).Encode(e)
+	}))
+	assertEquiv(t, s, peer, "statfs", nfs(115, nfsproto.ProcStatfs, func(e *xdr.Encoder) {
+		(&nfsproto.GetattrArgs{File: root}).Encode(e)
+	}))
+
+	mnt := func(xid, proc uint32, args func(e *xdr.Encoder)) []byte {
+		return encodeWire(xid, nfsproto.MountProgram, nfsproto.MountVersion, proc, args)
+	}
+	assertEquiv(t, s, peer, "mount null", mnt(120, nfsproto.MountProcNull, nil))
+	assertEquiv(t, s, peer, "mnt ok", mnt(121, nfsproto.MountProcMnt, func(e *xdr.Encoder) {
+		(&nfsproto.MntArgs{DirPath: "/"}).Encode(e)
+	}))
+	assertEquiv(t, s, peer, "mnt enoent", mnt(122, nfsproto.MountProcMnt, func(e *xdr.Encoder) {
+		(&nfsproto.MntArgs{DirPath: "/no-such-export"}).Encode(e)
+	}))
+}
+
+// TestFastPathDupcacheIndependence pins that the shallow path — which only
+// carries idempotent procedures — neither reads nor pollutes the sharded
+// dupcache: a fast GETATTR reusing a CREATE's xid must still be serviced
+// fresh and byte-identically on both paths, and the cached CREATE reply
+// must survive for a real retransmit.
+func TestFastPathDupcacheIndependence(t *testing.T) {
+	s := newServer()
+	root := s.RootFH()
+	const peer = "udp:10.0.0.1:700"
+	const xid = 777
+
+	createWire := encodeWire(xid, nfsproto.Program, nfsproto.Version, nfsproto.ProcCreate,
+		func(e *xdr.Encoder) {
+			(&nfsproto.CreateArgs{Where: nfsproto.DiropArgs{Dir: root, Name: "dup-f"},
+				Attr: nfsproto.NewSattr()}).Encode(e)
+		})
+	createRep := genericReply(t, s, peer, createWire)
+
+	// Same xid, same peer, idempotent proc: both paths must run it fresh
+	// (never replay the CREATE reply) and agree byte-for-byte.
+	fileFH := mustLookup(t, s, root, "dup-f").File
+	gaWire := encodeWire(xid, nfsproto.Program, nfsproto.Version, nfsproto.ProcGetattr,
+		func(e *xdr.Encoder) { (&nfsproto.GetattrArgs{File: fileFH}).Encode(e) })
+	fb, ok := fastReply(t, s, peer, gaWire)
+	if !ok {
+		t.Fatal("fast path refused GETATTR with a dupcache-resident xid")
+	}
+	gb := genericReply(t, s, peer, gaWire)
+	if !bytes.Equal(fb, gb) {
+		t.Errorf("xid-colliding GETATTR diverges:\n fast    %x\n generic %x", fb, gb)
+	}
+	if bytes.Equal(fb, createRep) {
+		t.Error("fast GETATTR replayed the cached CREATE reply")
+	}
+
+	// The CREATE's cache entry must be intact: a true retransmit replays it.
+	if replay := genericReply(t, s, peer, createWire); !bytes.Equal(replay, createRep) {
+		t.Errorf("CREATE retransmit not replayed verbatim after fast-path traffic:\n got  %x\n want %x", replay, createRep)
+	}
+	if hits := s.Stats.DupHits.Load(); hits == 0 {
+		t.Error("CREATE retransmit produced no dupcache hit")
+	}
+}
+
+// TestFastPathFallbacks pins the no-side-effects punt contract: calls the
+// classifier admits but HandleCallFast cannot finish return ok=false with
+// zero counter movement, and payload procedures never classify as fast.
+func TestFastPathFallbacks(t *testing.T) {
+	s := newServer()
+	root := s.RootFH()
+
+	for _, proc := range []uint32{nfsproto.ProcRead, nfsproto.ProcWrite,
+		nfsproto.ProcCreate, nfsproto.ProcRemove, nfsproto.ProcSetattr} {
+		h := rpc.PeekedCall{Prog: nfsproto.Program, Vers: nfsproto.Version, Proc: proc}
+		if FastEligible(&h) {
+			t.Errorf("payload proc %d classified fast-eligible", proc)
+		}
+	}
+	h := rpc.PeekedCall{Prog: nfsproto.Program, Vers: nfsproto.Version + 1, Proc: nfsproto.ProcNull}
+	if FastEligible(&h) {
+		t.Error("wrong-version NULL classified fast-eligible")
+	}
+
+	punt := func(label string, wire []byte) {
+		t.Helper()
+		var h rpc.PeekedCall
+		argOff, okPeek := rpc.PeekCallHeader(wire, &h)
+		if !okPeek || !FastEligible(&h) {
+			t.Fatalf("%s: call did not reach HandleCallFast", label)
+		}
+		before := s.cCalls.Value()
+		bytesIn := s.Stats.BytesIn.Load()
+		rep, ok := s.HandleCallFast("p", wire, &h, argOff, make([]byte, 0, FastReplyMax), nil)
+		if ok || rep != nil {
+			t.Errorf("%s: fast path serviced a call that must punt", label)
+		}
+		if s.cCalls.Value() != before || s.Stats.BytesIn.Load() != bytesIn {
+			t.Errorf("%s: punted call moved counters", label)
+		}
+	}
+
+	full := encodeWire(300, nfsproto.Program, nfsproto.Version, nfsproto.ProcLookup,
+		func(e *xdr.Encoder) { (&nfsproto.DiropArgs{Dir: root, Name: "f"}).Encode(e) })
+	punt("truncated lookup", full[:len(full)-6])
+	punt("readdir zero count", encodeWire(301, nfsproto.Program, nfsproto.Version,
+		nfsproto.ProcReaddir, func(e *xdr.Encoder) {
+			(&nfsproto.ReaddirArgs{Dir: root, Count: 0}).Encode(e)
+		}))
+	punt("readdir oversized window", encodeWire(302, nfsproto.Program, nfsproto.Version,
+		nfsproto.ProcReaddir, func(e *xdr.Encoder) {
+			(&nfsproto.ReaddirArgs{Dir: root, Count: nfsproto.MaxData}).Encode(e)
+		}))
+
+	// The punted datagrams must still be serviceable by the generic path.
+	if rep := genericReply(t, s, "p", full); len(rep) == 0 {
+		t.Error("generic path failed the fallback datagram")
+	}
+}

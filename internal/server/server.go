@@ -75,6 +75,10 @@ type Options struct {
 	// they spread across readers — the hostile cross-reader path the
 	// fleet rig's herd and storm scenarios exist to exercise.
 	NoReusePort bool
+	// NoFastPath disables the real-socket frontend's shallow dispatch path
+	// (fastpath.go): every datagram takes the generic mbuf/full-decode
+	// route. Escape hatch and the "before" leg of the fast-path benchmarks.
+	NoFastPath bool
 	// Leases enables the NQNFS-style cache lease extension (procedures
 	// LEASE/VACATED) from the paper's Future Directions.
 	Leases bool
