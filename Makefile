@@ -33,12 +33,23 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x ./...
 
 # One iteration of every benchmark plus the allocation-budget tests and the
-# fast-path regression gate: keeps the bench code honest and fails on
-# per-call allocation or copy regressions against BENCH_baseline.json, or on
-# a fast-path LOOKUP slower than the generic dispatch it bypasses
-# (BENCH_fastpath.json).
+# regression gates: per-call allocation or copy regressions against
+# BENCH_baseline.json, a fast-path LOOKUP slower than the generic dispatch
+# it bypasses (BENCH_fastpath.json), and a leased Create-Delete falling
+# below 3x the full-consistency time or losing write-RPC parity with the
+# no-consistency bound (BENCH_leases.json).
 bench-smoke:
-	$(GO) test -run 'TestAllocBudget|TestReadReplyZeroCopy|TestFastpathLookupGate' -bench=. -benchmem -benchtime 1x .
+	$(GO) test -run 'TestAllocBudget|TestReadReplyZeroCopy|TestFastpathLookupGate|TestLeaseCreateDeleteGate' -bench=. -benchmem -benchtime 1x .
+
+# The lease-coherence sweep: the two-client close-to-open model, the
+# randomized-IO model under the lease personality, the concurrent
+# callback-storm race test, and the lease chaos sweep (every UDP
+# transport/topology combo under seeded fault schedules, verified by the
+# invariant auditor).
+lease-sweep:
+	$(GO) test -race -run 'TestLeaseCloseToOpenModel|TestRandomizedIOAgainstModel' ./internal/client
+	$(GO) test -race -run 'TestLeaseCallbackStormRace|TestLeaseWorkloadCleanUnderAuditor' ./internal/server
+	$(GO) test -run 'TestChaosLeaseSweep' .
 
 # Real-socket scaling curves: GOMAXPROCS 1/2/4/8 x 1/2/4/8 concurrent
 # clients against the parallel nfsd worker pool — each GOMAXPROCS setting

@@ -77,6 +77,18 @@ func chaosClientOpts() client.Options {
 	return opts
 }
 
+// chaosLeaseClientOpts is the lease-coherent personality under chaos: full
+// Reno write-behind with NQNFS leases, so dirty data rides out faults in
+// the client cache and only moves on eviction, expiry or unmount. Read-ahead
+// is off so the op-by-op model comparison never races a prefetch.
+func chaosLeaseClientOpts() client.Options {
+	opts := client.Reno()
+	opts.Name = "chaos-lease"
+	opts.UseLeases = true
+	opts.ReadAhead = 0
+	return opts
+}
+
 // chaosResult is everything one run produces, for reporting and for the
 // determinism fingerprint.
 type chaosResult struct {
@@ -307,9 +319,16 @@ func verifyFinalState(p *sim.Proc, mnt *client.Mount, model map[string][]byte) [
 }
 
 // runChaos executes one full chaos run and returns its result plus the
-// auditor's violations.
-func runChaos(kind renonfs.TransportKind, topo renonfs.Topology, seed int64) (*chaosResult, []check.Violation) {
-	rig := renonfs.NewRig(renonfs.RigConfig{Seed: seed, Topology: topo})
+// auditor's violations. With leases set the server grants NQNFS leases and
+// the workload client caches under them (write-behind, no push-on-close);
+// the final-state verify mount stays leaseless, so it reaches the server's
+// durable state only through the eviction/expiry machinery.
+func runChaos(kind renonfs.TransportKind, topo renonfs.Topology, seed int64, leases bool) (*chaosResult, []check.Violation) {
+	srvOpts := server.Reno()
+	if leases {
+		srvOpts.Leases = true
+	}
+	rig := renonfs.NewRig(renonfs.RigConfig{Seed: seed, Topology: topo, ServerOpts: srvOpts})
 	defer rig.Close()
 	env := rig.Env
 	aud := check.New(func() time.Duration { return time.Duration(env.Now()) })
@@ -366,7 +385,11 @@ func runChaos(kind renonfs.TransportKind, topo renonfs.Topology, seed int64) (*c
 			res.errs = append(res.errs, fmt.Sprintf("dial: %v", err))
 			return
 		}
-		mnt := client.NewMount(rig.Net.Client, tr, rig.Server.RootFH(), chaosClientOpts())
+		copts := chaosClientOpts()
+		if leases {
+			copts = chaosLeaseClientOpts()
+		}
+		mnt := client.NewMount(rig.Net.Client, tr, rig.Server.RootFH(), copts)
 		res.errs = append(res.errs, runOps(p, mnt, wrng, res.model)...)
 		mnt.Close(p)
 	})
@@ -413,7 +436,7 @@ func TestChaosSweep(t *testing.T) {
 				seed := seed
 				t.Run(fmt.Sprintf("%s/seed=%d", combo, seed), func(t *testing.T) {
 					t.Parallel()
-					res, violations := runChaos(kind, tp.topo, seed)
+					res, violations := runChaos(kind, tp.topo, seed, false)
 					t.Logf("done=%v calls=%d replies=%d retransmits=%d failures=%d crashes=%d",
 						res.doneAt, res.counts["event.call_sent"], res.counts["event.reply"],
 						res.counts["event.retransmit"], res.counts["event.call_failed"],
@@ -422,6 +445,49 @@ func TestChaosSweep(t *testing.T) {
 						return
 					}
 					t.Errorf("chaos failure on %s seed=%d\nschedule: %s\nreplay: go test -run 'TestChaosSweep' -chaos.combo=%s -chaos.seed=%d .",
+						combo, seed, res.schedule, combo, seed)
+					for _, e := range res.errs {
+						t.Errorf("  error: %s", e)
+					}
+					for _, v := range violations {
+						t.Errorf("  violation: %s", v)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestChaosLeaseSweep reruns the fault sweep with the lease extension on:
+// the workload mount holds write leases and dirty data across bursts,
+// crashes and partitions, and the leaseless verify mount must still find
+// exactly the model's bytes — the eviction handshake, the expiry backstop
+// and the post-crash no-grant window all get exercised under loss. UDP
+// transports only: lease callbacks ride the UDP callback socket, and the
+// sweep keeps the peer addressing a callback resolves to.
+//
+// Replay: go test -run 'TestChaosLeaseSweep' -chaos.combo=udp-dyn/ring -chaos.seed=5 .
+func TestChaosLeaseSweep(t *testing.T) {
+	for _, kind := range []renonfs.TransportKind{renonfs.UDPFixed, renonfs.UDPDynamic} {
+		for _, tp := range chaosTopos {
+			combo := fmt.Sprintf("%s/%s", kind, tp.name)
+			if *chaosCombo != "" && combo != *chaosCombo {
+				continue
+			}
+			kind, tp := kind, tp
+			for _, seed := range chaosSeeds() {
+				seed := seed
+				t.Run(fmt.Sprintf("%s/seed=%d", combo, seed), func(t *testing.T) {
+					t.Parallel()
+					res, violations := runChaos(kind, tp.topo, seed, true)
+					t.Logf("done=%v calls=%d replies=%d retransmits=%d lease_grants=%d evictions=%d",
+						res.doneAt, res.counts["event.call_sent"], res.counts["event.reply"],
+						res.counts["event.retransmit"], res.counts["event.lease_grant"],
+						res.counts["event.lease_vacate"])
+					if len(res.errs) == 0 && len(violations) == 0 {
+						return
+					}
+					t.Errorf("lease chaos failure on %s seed=%d\nschedule: %s\nreplay: go test -run 'TestChaosLeaseSweep' -chaos.combo=%s -chaos.seed=%d .",
 						combo, seed, res.schedule, combo, seed)
 					for _, e := range res.errs {
 						t.Errorf("  error: %s", e)
@@ -458,8 +524,8 @@ func TestChaosDeterminism(t *testing.T) {
 		c := c
 		t.Run(fmt.Sprintf("%s/seed=%d", c.kind, c.seed), func(t *testing.T) {
 			t.Parallel()
-			r1, v1 := runChaos(c.kind, c.topo, c.seed)
-			r2, v2 := runChaos(c.kind, c.topo, c.seed)
+			r1, v1 := runChaos(c.kind, c.topo, c.seed, false)
+			r2, v2 := runChaos(c.kind, c.topo, c.seed, false)
 			if f1, f2 := r1.fingerprint(), r2.fingerprint(); f1 != f2 {
 				t.Fatalf("same seed diverged:\nrun1 %s (%d violations)\nrun2 %s (%d violations)\nschedule: %s",
 					f1, len(v1), f2, len(v2), r1.schedule)

@@ -61,6 +61,7 @@ func main() {
 		readers   = flag.Int("readers", 0, "sharded UDP ingest readers (0 = one per GOMAXPROCS; clamped to -nfsds)")
 		exports   = flag.String("exports", "/,/etc,/home", "comma-separated export paths")
 		rdlook    = flag.Bool("readdirlook", true, "serve the readdir_and_lookup_files extension")
+		leases    = flag.Bool("leases", false, "serve the NQNFS-style lease extension (grants need the simulator's peer addressing for callbacks; real-socket clients fall back to plain consistency)")
 		traceDump = flag.String("tracedump", "", "write the slowest-span Chrome trace JSON here at shutdown")
 	)
 	flag.Parse()
@@ -77,6 +78,7 @@ func main() {
 		opts = server.Ultrix()
 	}
 	opts.ReaddirLook = *rdlook
+	opts.Leases = *leases
 	if *nfsds > 0 {
 		opts.NFSDs = *nfsds
 	}
@@ -139,6 +141,7 @@ func serveStats(addr string, s *nfsnet.Server) {
 	reg := srv.Metrics
 	refresh := func() {
 		srv.PublishMbufStats()
+		srv.PublishLeaseStats()
 		s.PublishStats()
 	}
 	mux := http.NewServeMux()
@@ -167,6 +170,7 @@ func serveStats(addr string, s *nfsnet.Server) {
 func printFinal(s *nfsnet.Server) {
 	srv := s.Core()
 	srv.PublishMbufStats()
+	srv.PublishLeaseStats()
 	s.PublishStats()
 	snap := srv.Metrics.Snapshot()
 	tb := stats.NewTable("per-procedure totals",
@@ -195,6 +199,13 @@ func printFinal(s *nfsnet.Server) {
 			snap.Counters["rpc.fastpath.calls"], snap.Counters["rpc.fastpath.fallbacks"],
 			snap.Counters["rpc.send.batches"], msgs,
 			float64(snap.Counters["rpc.send.batches"])/float64(msgs))
+	}
+	if grants := snap.Counters["lease.grants"]; grants > 0 {
+		fmt.Printf("leases: %d grants (%d piggybacked, %d renewals), %d trylater, %d evictions, %d vacates, %d expiries, %.0f active\n",
+			grants, snap.Counters["lease.piggy_grants"], snap.Counters["lease.renewals"],
+			snap.Counters["lease.trylater"], snap.Counters["lease.evictions"],
+			snap.Counters["lease.vacates"], snap.Counters["lease.expiries"],
+			snap.Gauges["lease.active"])
 	}
 	printReaders(snap, s)
 	printStages(snap)

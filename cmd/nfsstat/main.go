@@ -15,7 +15,10 @@
 // the sharded UDP ingest frontend (rpc.reader.<id>.reads/.fast/.wakeups and
 // the socket strategy), the shallow-dispatch and reply-coalescing counters
 // (rpc.fastpath.calls/.fallbacks, rpc.send.batches/.batched_msgs — the
-// batches/msgs ratio is send syscalls per reply), the nfsd worker pool
+// batches/msgs ratio is send syscalls per reply), the lease extension's
+// traffic when any were granted (lease.grants/.piggy_grants/.renewals,
+// the trylater/eviction/vacate/expiry conflict counters and the live
+// lease.active gauge), the nfsd worker pool
 // (rpc.nfsd.busy, per-worker calls
 // and busy time), the sharded duplicate-request-cache counters
 // (server.dupc.*), the
@@ -138,6 +141,7 @@ func render(snap *metrics.Snapshot, delta bool) {
 			snap.Counters["rpc.send.batches"], msgs,
 			float64(snap.Counters["rpc.send.batches"])/float64(msgs))
 	}
+	renderLeases(snap)
 	renderStages(snap, delta)
 	renderReaders(snap)
 	renderWorkers(snap)
@@ -174,6 +178,22 @@ func renderStages(snap *metrics.Snapshot, delta bool) {
 	if shown {
 		fmt.Print(tb.String())
 	}
+}
+
+// renderLeases prints the NQNFS lease extension's traffic when the server
+// has granted any: total and piggybacked grants, renewals, the conflict
+// side (trylater refusals, evictions, vacates, expiries) and the live
+// table size (lease.active, refreshed by the stats endpoint per poll).
+func renderLeases(snap *metrics.Snapshot) {
+	grants := snap.Counters["lease.grants"]
+	if grants == 0 {
+		return
+	}
+	fmt.Printf("leases: %d grants (%d piggybacked, %d renewals)  %d trylater  %d evictions  %d vacates  %d expiries  %.0f active\n",
+		grants, snap.Counters["lease.piggy_grants"], snap.Counters["lease.renewals"],
+		snap.Counters["lease.trylater"], snap.Counters["lease.evictions"],
+		snap.Counters["lease.vacates"], snap.Counters["lease.expiries"],
+		snap.Gauges["lease.active"])
 }
 
 // renderLocks prints the lock.<site>.* contention counters, busiest first.

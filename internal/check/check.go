@@ -213,6 +213,12 @@ func (a *Auditor) observe(source string, ev metrics.Event) {
 		a.inRecovery = true
 		a.leases = make(map[string]map[string]leaseHolder)
 	case metrics.LeaseGrant:
+		if e.Piggy {
+			// Tallied separately so sweeps can assert the piggyback fast
+			// path actually carried grants (and determinism checks see any
+			// shift between piggybacked and explicit LEASE grants).
+			a.counts["lease.piggy_grant"]++
+		}
 		if a.inRecovery && now < a.recoveryUntil {
 			a.violate(source, "lease-grant-in-recovery",
 				fmt.Sprintf("file %s peer %s granted %v before recovery ends at %v",

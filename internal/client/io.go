@@ -93,21 +93,52 @@ func (m *Mount) Create(p *sim.Proc, path string, mode uint32) (*File, error) {
 	attr := nfsproto.NewSattr()
 	attr.Mode = mode
 	attr.Size = 0
-	d, err := m.call(p, nfsproto.ProcCreate, func(e *xdr.Encoder) {
-		(&nfsproto.CreateArgs{Where: nfsproto.DiropArgs{Dir: dir.fh, Name: name}, Attr: attr}).Encode(e)
-	})
-	if err != nil {
-		return nil, err
+	// A truncating create must not race the target's own write-behind:
+	// discard the doomed dirty blocks and wait out any flush already in
+	// flight, or a stale WRITE landing after the truncate resurrects the
+	// old bytes. (Without leases push-on-close drains this at close; with
+	// a write lease the dirty data legitimately outlives the close.)
+	if vid, vgen, neg, found := m.namec.Lookup(dir.fileid, dir.gen, name); found && !neg {
+		if old := m.vns[vnKey{vid, vgen}]; old != nil {
+			m.bufc.InvalidateVnode(old.fileid, old.gen)
+			m.dropLease(old)
+			for old.pendingFlushes > 0 {
+				old.flushDone.Wait(p)
+			}
+		}
 	}
-	res, err := nfsproto.DecodeDiropRes(d)
-	if err != nil {
-		return nil, err
+	var d *xdr.Decoder
+	var res *nfsproto.DiropRes
+	for attempt := 0; ; attempt++ {
+		var err error
+		d, err = m.call(p, nfsproto.ProcCreate, func(e *xdr.Encoder) {
+			(&nfsproto.CreateArgs{Where: nfsproto.DiropArgs{Dir: dir.fh, Name: name}, Attr: attr}).Encode(e)
+			// A create is almost always followed by writes: ask for the write
+			// lease up front so the data path never needs an explicit LEASE RPC.
+			if m.wantHint() {
+				m.leaseHint(e, nfsproto.LeaseWrite)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		if res, err = nfsproto.DecodeDiropRes(d); err != nil {
+			return nil, err
+		}
+		if res.Status == nfsproto.ErrTryLater && attempt < 8 {
+			// Truncating a foreign-leased file: the server is evicting the
+			// holder for us.
+			tryLaterBackoff(p, attempt)
+			continue
+		}
+		break
 	}
 	if res.Status != nfsproto.OK {
 		return nil, res.Status.Error()
 	}
 	vn := m.getVnode(res.File)
 	m.updateAttrs(vn, res.Attr, true)
+	m.absorbPiggy(p, d, vn)
 	vn.cachedMtime = res.Attr.Mtime // our own create: cache (empty) is valid
 	vn.size = 0
 	m.bufc.InvalidateVnode(vn.fileid, vn.gen)
@@ -153,24 +184,37 @@ func (m *Mount) Remove(p *sim.Proc, path string) error {
 		return err
 	}
 	// Discard any dirty blocks for the victim: they will never be needed.
+	// The lease goes too — renewing a lease on an unlinked file is wasted
+	// work at best. Wait out in-flight flushes so no stale WRITE chases
+	// the REMOVE onto the server.
 	if vid, vgen, neg, found := m.namec.Lookup(dir.fileid, dir.gen, name); found && !neg {
 		if vn := m.vns[vnKey{vid, vgen}]; vn != nil {
 			m.bufc.InvalidateVnode(vn.fileid, vn.gen)
+			m.dropLease(vn)
+			for vn.pendingFlushes > 0 {
+				vn.flushDone.Wait(p)
+			}
 		}
 	}
-	d, err := m.call(p, nfsproto.ProcRemove, func(e *xdr.Encoder) {
-		(&nfsproto.DiropArgs{Dir: dir.fh, Name: name}).Encode(e)
-	})
-	if err != nil {
-		return err
+	for attempt := 0; ; attempt++ {
+		d, err := m.call(p, nfsproto.ProcRemove, func(e *xdr.Encoder) {
+			(&nfsproto.DiropArgs{Dir: dir.fh, Name: name}).Encode(e)
+		})
+		if err != nil {
+			return err
+		}
+		res, err := nfsproto.DecodeStatusRes(d)
+		if err != nil {
+			return err
+		}
+		if res.Status == nfsproto.ErrTryLater && attempt < 8 {
+			tryLaterBackoff(p, attempt)
+			continue
+		}
+		m.namec.Remove(dir.fileid, dir.gen, name)
+		dir.attrValid = false
+		return res.Status.Error()
 	}
-	res, err := nfsproto.DecodeStatusRes(d)
-	if err != nil {
-		return err
-	}
-	m.namec.Remove(dir.fileid, dir.gen, name)
-	dir.attrValid = false
-	return res.Status.Error()
 }
 
 // Rmdir removes a directory.
@@ -637,6 +681,10 @@ func (m *Mount) writeRPC(p *sim.Proc, vn *vnode, offset uint32, data []byte) err
 			// Re-encodable for retransmission: the chain is rebuilt from
 			// the stable byte slice on every invocation.
 			(&nfsproto.WriteArgs{File: vn.fh, Offset: offset, Data: mbuf.FromBytes(data)}).Encode(e)
+			// Keeps the write lease fresh while a long flush streams.
+			if m.wantHint() {
+				m.leaseHint(e, nfsproto.LeaseWrite)
+			}
 		})
 		if err != nil {
 			return err
@@ -653,6 +701,7 @@ func (m *Mount) writeRPC(p *sim.Proc, vn *vnode, offset uint32, data []byte) err
 			return res.Status.Error()
 		}
 		m.updateAttrs(vn, res.Attr, true)
+		m.absorbPiggy(p, d, vn)
 		return nil
 	}
 }

@@ -28,14 +28,13 @@ type clientLease struct {
 // upon; within the margin it is renewed (or the data flushed).
 const leaseMargin = 3 * time.Second
 
-var nextCallbackPort = 40000
-
 // initLeases binds the callback socket and starts the callback and
-// renewal processes. Called from NewMount when UseLeases is set.
+// renewal processes. Called from NewMount when UseLeases is set. The
+// callback port comes from the node's ephemeral range, so many mounts —
+// and many simulated environments — coexist without a shared global.
 func (m *Mount) initLeases() {
 	m.leases = make(map[vnKey]*clientLease)
-	nextCallbackPort++
-	m.cbPort = nextCallbackPort
+	m.cbPort = m.Node.EphemeralPort()
 	m.cbSock = m.Node.UDPSocket(m.cbPort)
 	m.env.Spawn(m.Opts.Name+".lease-cb", m.leaseCallbackProc)
 	m.env.Spawn(m.Opts.Name+".lease-renew", m.leaseRenewProc)
@@ -91,11 +90,15 @@ func (m *Mount) getLease(p *sim.Proc, vn *vnode, mode uint32) bool {
 			// The grant carries fresh attributes: validate the cache now,
 			// then trust it for the lease term. Dirty data survives the
 			// purge: it is flushed first (it is newer by definition).
-			if vn.hasCachedMtime && res.Attr.Mtime != vn.cachedMtime {
+			// Attributes fold in before the purge so invalidate resets
+			// vn.size from the server's current size — a foreign truncation
+			// must shrink our view, which updateAttrs alone never does.
+			changed := vn.hasCachedMtime && res.Attr.Mtime != vn.cachedMtime
+			m.updateAttrs(vn, res.Attr, false)
+			if changed {
 				m.flushVnode(p, vn, true)
 				m.invalidate(vn)
 			}
-			m.updateAttrs(vn, res.Attr, false)
 			vn.cachedMtime = res.Attr.Mtime
 			vn.hasCachedMtime = true
 			m.leases[vnKey{vn.fileid, vn.gen}] = &clientLease{
@@ -114,11 +117,85 @@ func (m *Mount) getLease(p *sim.Proc, vn *vnode, mode uint32) bool {
 	return false
 }
 
+// wantHint reports whether RPCs should carry lease piggyback hints.
+func (m *Mount) wantHint() bool {
+	return m.Opts.UseLeases && !m.leasesBroken
+}
+
+// leaseHint appends a piggyback lease request to an RPC's arguments.
+// Servers without the extension ignore the trailing bytes.
+func (m *Mount) leaseHint(e *xdr.Encoder, mode uint32) {
+	(&nfsproto.LeaseHint{
+		Mode:         mode,
+		Duration:     uint32(m.leaseDuration() / time.Second),
+		CallbackPort: uint32(m.cbPort),
+	}).Encode(e)
+}
+
+// absorbPiggy records a lease grant piggybacked on a reply. Callers fold
+// the reply's attributes in first; a fresh read grant over a cache loaded
+// under an older mtime purges it (dirty data flushed first — it is newer
+// by definition) before the lease starts vouching for it. Write grants
+// skip the check: they arrive on our own CREATE/WRITE, whose data the
+// cache is authoritative for.
+func (m *Mount) absorbPiggy(p *sim.Proc, d *xdr.Decoder, vn *vnode) {
+	if !m.wantHint() {
+		return
+	}
+	g := nfsproto.DecodeLeasePiggy(d)
+	if g == nil {
+		return
+	}
+	k := vnKey{vn.fileid, vn.gen}
+	if g.Mode == nfsproto.LeaseRead && m.leases[k] == nil &&
+		vn.hasCachedMtime && vn.attr.Mtime != vn.cachedMtime {
+		m.flushVnode(p, vn, true)
+		m.invalidate(vn)
+	}
+	m.leases[k] = &clientLease{
+		vn: vn, mode: g.Mode,
+		expiry: m.env.Now() + sim.Time(g.Duration)*time.Second,
+	}
+	// Coherent by contract from here: the server evicts us before the file
+	// changes under the lease, so the cache's mtime baseline is current.
+	vn.cachedMtime = vn.attr.Mtime
+	vn.hasCachedMtime = true
+	m.Stats.LeasesGranted++
+	m.Stats.LeasePiggyGrants++
+}
+
 func (m *Mount) leaseDuration() sim.Time {
 	if m.Opts.LeaseDuration > 0 {
 		return m.Opts.LeaseDuration
 	}
 	return 30 * time.Second
+}
+
+// vacateAll surrenders every held lease at unmount. Without this, the
+// server-side records linger until expiry and the next mount's first
+// conflicting access eats a full TRYLATER-until-expiry wait. Dirty data is
+// already on the server (Close syncs before calling).
+func (m *Mount) vacateAll(p *sim.Proc) {
+	if len(m.leases) == 0 || p == nil {
+		return
+	}
+	keys := make([]vnKey, 0, len(m.leases))
+	for k := range m.leases {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].fileid != keys[j].fileid {
+			return keys[i].fileid < keys[j].fileid
+		}
+		return keys[i].gen < keys[j].gen
+	})
+	for _, k := range keys {
+		vn := m.leases[k].vn
+		delete(m.leases, k)
+		m.call(p, nfsproto.ProcVacated, func(e *xdr.Encoder) {
+			(&nfsproto.VacatedArgs{File: vn.fh}).Encode(e)
+		})
+	}
 }
 
 // dropLease forgets a lease without telling the server (expiry handles

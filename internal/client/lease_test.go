@@ -43,11 +43,8 @@ func newLeaseRig(t *testing.T, seed int64, mutate func(*server.Options)) *leaseR
 	return &leaseRig{env: env, tb: tb, srv: srv}
 }
 
-var leasePort = 7000
-
 func (r *leaseRig) mount(opts Options) *Mount {
-	leasePort++
-	tr := transport.NewUDP(r.tb.Client, leasePort, r.tb.Server.ID, server.NFSPort, transport.DynamicUDP())
+	tr := transport.NewUDP(r.tb.Client, r.tb.Client.EphemeralPort(), r.tb.Server.ID, server.NFSPort, transport.DynamicUDP())
 	return NewMount(r.tb.Client, tr, r.srv.RootFH(), opts)
 }
 
@@ -90,6 +87,73 @@ func TestWriteLeaseSkipsPushOnClose(t *testing.T) {
 		}
 		if got := m.Stats.RPCCount(nfsproto.ProcRead); got != 0 {
 			t.Errorf("read RPCs under lease = %d, want 0", got)
+		}
+	})
+}
+
+func TestPiggybackGrantsSkipExplicitLease(t *testing.T) {
+	r := newLeaseRig(t, 11, nil)
+	m := r.mount(leaseClient())
+	r.run(t, func(p *sim.Proc) {
+		// Create carries a write-lease hint, so the whole create-write-close
+		// sequence needs no explicit LEASE RPC and no write push.
+		data := pattern(2 * 8192)
+		writeFile(t, p, m, "f", data)
+		if got := m.Stats.RPCCount(nfsproto.ProcLease); got != 0 {
+			t.Errorf("explicit LEASE RPCs = %d, want 0 (grant should piggyback on CREATE)", got)
+		}
+		if m.Stats.LeasePiggyGrants == 0 {
+			t.Error("no piggybacked grant absorbed")
+		}
+		if got := m.Stats.RPCCount(nfsproto.ProcWrite); got != 0 {
+			t.Errorf("write RPCs = %d, want 0 under the piggybacked write lease", got)
+		}
+		// Re-stat the file long after the attribute timeout: the live lease
+		// serves its attributes RPC-free. (A path walk would still refresh
+		// the parent directory — directories are deliberately unleased — so
+		// probe the file vnode itself.)
+		vn, err := m.walk(p, "f")
+		if err != nil {
+			t.Fatalf("walk: %v", err)
+		}
+		p.Sleep(8 * time.Second)
+		base := m.Stats.RPCCount(nfsproto.ProcGetattr)
+		if err := m.freshAttrs(p, vn); err != nil {
+			t.Fatalf("freshAttrs: %v", err)
+		}
+		if got := m.Stats.RPCCount(nfsproto.ProcGetattr) - base; got != 0 {
+			t.Errorf("getattr RPCs under live lease = %d, want 0", got)
+		}
+	})
+}
+
+func TestGetattrPiggybackGrantsReadLease(t *testing.T) {
+	// A plain stat of a foreign file on a lease mount picks up a read
+	// lease from the GETATTR piggyback; repeat stats are then RPC-free
+	// even past the attribute timeout.
+	r := newLeaseRig(t, 12, nil)
+	writerOpts := Reno()
+	writer := r.mount(writerOpts)
+	m := r.mount(leaseClient())
+	r.run(t, func(p *sim.Proc) {
+		writeFile(t, p, writer, "f", []byte("v1"))
+		if _, err := m.Getattr(p, "f"); err != nil {
+			t.Fatalf("getattr: %v", err)
+		}
+		if m.Stats.LeasePiggyGrants == 0 {
+			t.Fatal("stat absorbed no piggybacked read lease")
+		}
+		vn, err := m.walk(p, "f")
+		if err != nil {
+			t.Fatalf("walk: %v", err)
+		}
+		p.Sleep(8 * time.Second) // well past the 5s attribute timeout
+		base := m.Stats.TotalCalls()
+		if err := m.freshAttrs(p, vn); err != nil {
+			t.Fatalf("freshAttrs: %v", err)
+		}
+		if got := m.Stats.TotalCalls() - base; got != 0 {
+			t.Errorf("repeat stat under read lease cost %d RPCs, want 0", got)
 		}
 	})
 }

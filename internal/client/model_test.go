@@ -32,6 +32,101 @@ func TestRandomizedIOAgainstModel(t *testing.T) {
 	}
 }
 
+// TestLeaseCloseToOpenModel drives two lease-mounted clients through
+// alternating write-close / open-read rounds and pins close-to-open
+// consistency: whatever one client wrote before close is exactly what the
+// other reads after open, even though write leases suppress push-on-close
+// — the eviction handshake must make the flush happen before the reader's
+// open completes. Occasional sleeps past the lease term exercise the
+// expiry backstop between rounds.
+func TestLeaseCloseToOpenModel(t *testing.T) {
+	env := sim.New(42)
+	defer env.Close()
+	nt := netsim.New(env)
+	nodeA := nt.AddNode(netsim.NodeConfig{Name: "a"})
+	nodeB := nt.AddNode(netsim.NodeConfig{Name: "b"})
+	serverNode := nt.AddNode(netsim.NodeConfig{Name: "server"})
+	lk := netsim.Ethernet("eth")
+	nt.Connect(nodeA, serverNode, lk)
+	nt.Connect(nodeB, serverNode, lk)
+	nt.ComputeRoutes()
+	fs := memfs.New(1, nil, nil)
+	srvOpts := server.Reno()
+	srvOpts.Leases = true
+	srvOpts.LeaseDuration = 10 * time.Second
+	srv := server.New(fs, srvOpts)
+	srv.AttachNode(serverNode)
+	srv.ServeUDP(server.NFSPort)
+
+	opts := leaseClient()
+	opts.LeaseDuration = 10 * time.Second
+	mounts := [2]*Mount{}
+	for i, node := range []*netsim.Node{nodeA, nodeB} {
+		o := opts
+		o.Name = fmt.Sprintf("lease%d", i)
+		tr := transport.NewUDP(node, node.EphemeralPort(), serverNode.ID, server.NFSPort, transport.DynamicUDP())
+		mounts[i] = NewMount(node, tr, srv.RootFH(), o)
+	}
+
+	ok := false
+	env.Spawn("c2o", func(p *sim.Proc) {
+		rng := rand.New(rand.NewSource(7))
+		for round := 0; round < 40; round++ {
+			writer, reader := mounts[round%2], mounts[(round+1)%2]
+			want := make([]byte, 1+rng.Intn(20000))
+			rng.Read(want)
+			f, err := writer.Create(p, "shared", 0644)
+			if err != nil {
+				t.Errorf("round %d create: %v", round, err)
+				return
+			}
+			if _, err := f.Write(p, want); err != nil {
+				t.Errorf("round %d write: %v", round, err)
+				return
+			}
+			if err := f.Close(p); err != nil {
+				t.Errorf("round %d close: %v", round, err)
+				return
+			}
+			if rng.Intn(5) == 0 {
+				p.Sleep(15 * time.Second) // past the lease term: expiry path
+			}
+			g, err := reader.Open(p, "shared")
+			if err != nil {
+				t.Errorf("round %d open: %v", round, err)
+				return
+			}
+			got := make([]byte, 0, len(want))
+			buf := make([]byte, 8192)
+			for {
+				n, err := g.Read(p, buf)
+				if err != nil {
+					t.Errorf("round %d read: %v", round, err)
+					return
+				}
+				if n == 0 {
+					break
+				}
+				got = append(got, buf[:n]...)
+			}
+			g.Close(p)
+			if !bytes.Equal(got, want) {
+				t.Errorf("round %d: reader saw %d bytes diverging from the %d written before close",
+					round, len(got), len(want))
+				return
+			}
+		}
+		ok = true
+	})
+	env.Run(4 * time.Hour)
+	if !ok {
+		t.Fatal("close-to-open run did not finish")
+	}
+	if mounts[0].Stats.LeasesGranted == 0 || mounts[1].Stats.LeasesGranted == 0 {
+		t.Error("a mount ran leaseless: the round-trip proved nothing about leases")
+	}
+}
+
 // runModel drives one randomized-op session and verifies the server's
 // final state against the shadow.
 func runModel(t *testing.T, opts Options, envSeed, opSeed int64) {

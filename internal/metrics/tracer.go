@@ -101,6 +101,9 @@ type LeaseGrant struct {
 	File  string
 	Write bool
 	Term  time.Duration
+	// Piggy marks a grant issued in a reply piggyback rather than by an
+	// explicit LEASE call.
+	Piggy bool
 }
 
 // LeaseVacate: a holder released its lease after an eviction notice (or

@@ -125,6 +125,7 @@ type Node struct {
 	reasm   *ipfrag.Reassembler
 	ports   map[portKey]*sim.Queue[*Datagram]
 	dgramID uint32
+	ephPort int
 
 	Stats   NodeStats
 	profile map[string]sim.Time
@@ -320,6 +321,26 @@ func (n *Node) Bind(proto uint8, port int) *sim.Queue[*Datagram] {
 // Unbind releases a bound port.
 func (n *Node) Unbind(proto uint8, port int) {
 	delete(n.ports, portKey{proto, port})
+}
+
+// EphemeralPort hands out the next unused UDP port from the node's
+// ephemeral range. The cursor is per-node state, so allocation is
+// deterministic per simulation however many rigs share the process —
+// unlike a package-global counter, which two concurrently-built
+// environments would interleave nondeterministically.
+const ephemeralBase = 49152
+
+func (n *Node) EphemeralPort() int {
+	if n.ephPort == 0 {
+		n.ephPort = ephemeralBase
+	}
+	for {
+		p := n.ephPort
+		n.ephPort++
+		if _, taken := n.ports[portKey{ProtoUDP, p}]; !taken {
+			return p
+		}
+	}
 }
 
 // SendDatagram fragments and transmits dg toward its destination, charging

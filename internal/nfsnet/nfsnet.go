@@ -133,7 +133,10 @@ type udpReader struct {
 	// so Σreads == Σnfsd calls + Σfast is the drain invariant. wakeups
 	// counts blocking-read returns that yielded at least one datagram
 	// (rpc.reader.<id>.wakeups) — reads/wakeups is the mean drain batch.
-	reads, fast, wakeups *metrics.Counter
+	// batched counts the datagrams the recvmmsg probe delivered beyond the
+	// first of each fill (rpc.reader.<id>.batched_reads) — reads the
+	// batching saved a receive syscall for.
+	reads, fast, wakeups, batched *metrics.Counter
 }
 
 // Reader deadlines. A reader that owns its socket re-arms a bounded
@@ -254,6 +257,7 @@ func Serve(srv *server.Server, udpAddr, tcpAddr string) (*Server, error) {
 			reads:   srv.Metrics.Counter(fmt.Sprintf("rpc.reader.%d.reads", i)),
 			fast:    srv.Metrics.Counter(fmt.Sprintf("rpc.reader.%d.fast", i)),
 			wakeups: srv.Metrics.Counter(fmt.Sprintf("rpc.reader.%d.wakeups", i)),
+			batched: srv.Metrics.Counter(fmt.Sprintf("rpc.reader.%d.batched_reads", i)),
 		})
 	}
 	for i := 0; i < nfsds; i++ {
@@ -403,6 +407,7 @@ func (s *Server) readUDP(r *udpReader) {
 	defer batch.flush()
 	var peers peerCache
 	var probe recvProbe
+	probe.batched = r.batched
 	// One span, reused per fast-path datagram (add copies it by value);
 	// a per-datagram span would escape through the call chain.
 	var sp metrics.Span
@@ -425,11 +430,15 @@ func (s *Server) readUDP(r *udpReader) {
 			continue
 		}
 		r.wakeups.Inc()
+		// pkt aliases either buf or a probe-owned batch buffer; both stay
+		// intact until the next drainRead, and both consumers below finish
+		// with the bytes synchronously (inline service or mbuf copy).
+		pkt := buf[:n]
 		for nread := 0; ; {
 			t0 := time.Now()
 			r.reads.Inc()
-			if !s.tryFast(r, batch, &peers, buf[:n], addr, t0, &sp) {
-				req := cache.FromBytes(buf[:n])
+			if !s.tryFast(r, batch, &peers, pkt, addr, t0, &sp) {
+				req := cache.FromBytes(pkt)
 				r.ring <- udpJob{addr: addr, req: req, t0: t0, readNS: int64(time.Since(t0))}
 			}
 			nread++
@@ -437,7 +446,7 @@ func (s *Server) readUDP(r *udpReader) {
 				break
 			}
 			var more bool
-			if n, addr, more = drainRead(r.conn, &probe, batch, buf); !more {
+			if pkt, addr, more = drainRead(r.conn, &probe, batch); !more {
 				break
 			}
 		}
@@ -493,6 +502,12 @@ func (s *Server) tryFast(r *udpReader, b *sendBatch, peers *peerCache, pkt []byt
 	}
 	r.fast.Inc()
 	s.fastCalls.Inc()
+	if rep == nil {
+		// Consumed with no reply: a non-idempotent call's in-flight
+		// duplicate, dropped exactly as the generic path drops it.
+		s.stages.Record(sp)
+		return true
+	}
 	b.add(rep, addr, sp)
 	return true
 }

@@ -8,49 +8,69 @@ import (
 	"runtime"
 	"syscall"
 	"unsafe"
+
+	"renonfs/internal/metrics"
 )
 
-// The non-blocking drain probe: recvfrom(MSG_DONTWAIT) through a cached
+// The non-blocking drain probe: recvmmsg(MSG_DONTWAIT) through a cached
 // raw connection. The drain loop's contract is recvmmsg's — take the
 // datagrams the kernel has already queued behind a wakeup, never wait for
 // more — and a positive read deadline cannot express it: the read parks
 // for the whole window when the queue is empty, holding any fast-path
 // replies staged in the send batch (an expired deadline is no better: the
 // runtime fails the read without issuing the syscall, so queued data is
-// unreachable). The probe returns queued data or EAGAIN immediately, so a
-// lone reply flushes as soon as the backlog is drained.
+// unreachable). The probe fills a small batch of datagrams per syscall and
+// serves them one at a time, so a deep backlog costs one kernel crossing
+// per recvBatch datagrams instead of one each, and a lone reply still
+// flushes the instant the backlog is dry.
 
-// sysRecvfrom is the recvfrom(2) syscall number per arch (the same frozen
+// sysRecvmmsg is the recvmmsg(2) syscall number per arch (the same frozen
 // stdlib-table situation as sysSendmmsg). 0 degrades to the portable
 // flush-then-deadline drain.
-var sysRecvfrom = map[string]uintptr{
-	"amd64":   45,
-	"arm64":   207, // generic syscall table (also riscv64, loong64)
-	"riscv64": 207,
-	"loong64": 207,
-	"386":     371,
-	"arm":     292,
+var sysRecvmmsg = map[string]uintptr{
+	"amd64":   299,
+	"arm64":   243, // generic syscall table (also riscv64, loong64)
+	"riscv64": 243,
+	"loong64": 243,
+	"386":     337,
+	"arm":     365,
 }[runtime.GOARCH]
 
-// recvProbe is one reader's reusable probe state. The raw connection and
-// callback are built once (SyscallConn and a fresh closure would each
-// allocate per datagram); buf/rsa/n/ok carry arguments and results across
-// fn invocations.
+// recvBatch is how many datagrams one recvmmsg fill may return. Small on
+// purpose: the buffers are sized for a worst-case datagram, so the batch
+// is recvBatch*64K of reader-resident memory.
+const recvBatch = 8
+
+// recvProbe is one reader's reusable probe state. The raw connection,
+// callback, buffers and header arrays are built once (SyscallConn and a
+// fresh closure would each allocate per fill; the headers are rebuilt by
+// the kernel's value-result fields, not reallocated). got/next window the
+// current fill: bufs[next:got] hold datagrams already received but not yet
+// served to the drain loop.
 type recvProbe struct {
-	rc     syscall.RawConn
-	rcErr  bool
-	fn     func(fd uintptr) bool
-	buf    []byte
-	rsa    syscall.RawSockaddrAny
-	rsaLen uint32
-	n      int
-	ok     bool
+	rc    syscall.RawConn
+	rcErr bool
+	fn    func(fd uintptr) bool
+	bufs  [][]byte
+	hdrs  []mmsghdr
+	iovs  []syscall.Iovec
+	rsas  []syscall.RawSockaddrAny
+	got   int
+	next  int
+	// fallback is the portable drain's buffer, allocated only when raw
+	// access is unavailable.
+	fallback []byte
+	// batched counts datagrams beyond the first in each multi-datagram
+	// fill — the reads the batching saved a syscall for
+	// (rpc.reader.<id>.batched_reads).
+	batched *metrics.Counter
 }
 
-// init readies the cached raw connection and callback. false means raw
-// access is unavailable and the caller must use the portable drain.
+// init readies the cached raw connection, buffers and callback. false
+// means raw access is unavailable and the caller must use the portable
+// drain.
 func (p *recvProbe) init(conn *net.UDPConn) bool {
-	if sysRecvfrom == 0 {
+	if sysRecvmmsg == 0 {
 		return false
 	}
 	if p.rc != nil {
@@ -64,15 +84,31 @@ func (p *recvProbe) init(conn *net.UDPConn) bool {
 		p.rcErr = true
 		return false
 	}
+	p.bufs = make([][]byte, recvBatch)
+	p.hdrs = make([]mmsghdr, recvBatch)
+	p.iovs = make([]syscall.Iovec, recvBatch)
+	p.rsas = make([]syscall.RawSockaddrAny, recvBatch)
+	for i := range p.bufs {
+		p.bufs[i] = make([]byte, 65536)
+		p.iovs[i].Base = &p.bufs[i][0]
+		p.iovs[i].SetLen(len(p.bufs[i]))
+		h := &p.hdrs[i].hdr
+		h.Iov = &p.iovs[i]
+		h.Iovlen = 1
+		h.Name = (*byte)(unsafe.Pointer(&p.rsas[i]))
+	}
 	p.rc = rc
 	p.fn = func(fd uintptr) bool {
-		p.ok = false
+		p.got, p.next = 0, 0
 		for {
-			p.rsaLen = uint32(unsafe.Sizeof(p.rsa))
-			n, _, errno := syscall.Syscall6(sysRecvfrom, fd,
-				uintptr(unsafe.Pointer(&p.buf[0])), uintptr(len(p.buf)),
-				syscall.MSG_DONTWAIT,
-				uintptr(unsafe.Pointer(&p.rsa)), uintptr(unsafe.Pointer(&p.rsaLen)))
+			// msg_namelen is value-result: the kernel overwrites it with
+			// each sender's sockaddr size, so every fill must restore it.
+			for i := range p.hdrs {
+				p.hdrs[i].hdr.Namelen = uint32(unsafe.Sizeof(p.rsas[i]))
+			}
+			n, _, errno := syscall.Syscall6(sysRecvmmsg, fd,
+				uintptr(unsafe.Pointer(&p.hdrs[0])), uintptr(len(p.hdrs)),
+				syscall.MSG_DONTWAIT, 0, 0)
 			if errno == syscall.EINTR {
 				continue
 			}
@@ -83,8 +119,7 @@ func (p *recvProbe) init(conn *net.UDPConn) bool {
 			if errno != 0 {
 				return true
 			}
-			p.n = int(n)
-			p.ok = true
+			p.got = int(n)
 			return true
 		}
 	}
@@ -98,33 +133,49 @@ func getPort(src *uint16) uint16 {
 	return uint16(b[0])<<8 | uint16(b[1])
 }
 
-// source decodes the probed datagram's sender. The kernel's bytes are
-// mirrored exactly (no 4-in-6 unmapping) so the address matches what
+// sourceAt decodes the i-th probed datagram's sender. The kernel's bytes
+// are mirrored exactly (no 4-in-6 unmapping) so the address matches what
 // ReadFromUDPAddrPort reports for the same peer on the same socket — one
 // peerCache key per peer, and a reply address the socket family accepts.
-func (p *recvProbe) source() netip.AddrPort {
-	switch p.rsa.Addr.Family {
+func (p *recvProbe) sourceAt(i int) netip.AddrPort {
+	switch p.rsas[i].Addr.Family {
 	case syscall.AF_INET:
-		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(&p.rsa))
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(&p.rsas[i]))
 		return netip.AddrPortFrom(netip.AddrFrom4(sa.Addr), getPort(&sa.Port))
 	case syscall.AF_INET6:
-		sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(&p.rsa))
+		sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(&p.rsas[i]))
 		return netip.AddrPortFrom(netip.AddrFrom16(sa.Addr), getPort(&sa.Port))
 	}
 	return netip.AddrPort{}
 }
 
-// drainRead takes the next datagram the kernel already queued, without
-// waiting: (n, source, true), or ok=false the instant the queue is empty.
-func drainRead(conn *net.UDPConn, p *recvProbe, b *sendBatch, buf []byte) (int, netip.AddrPort, bool) {
+// drainRead serves the next datagram the kernel already queued, without
+// waiting: (packet, source, true), or ok=false the instant the queue is
+// empty. The packet slice aliases a probe-owned buffer that stays intact
+// until the current fill is exhausted — callers consume or copy it before
+// the next empty-handed drainRead.
+func drainRead(conn *net.UDPConn, p *recvProbe, b *sendBatch) ([]byte, netip.AddrPort, bool) {
 	if !p.init(conn) {
-		return drainReadDeadline(conn, b, buf)
+		if p.fallback == nil {
+			p.fallback = make([]byte, 65536)
+		}
+		n, addr, ok := drainReadDeadline(conn, b, p.fallback)
+		if !ok {
+			return nil, netip.AddrPort{}, false
+		}
+		return p.fallback[:n], addr, true
 	}
-	p.buf = buf
-	err := p.rc.Read(p.fn)
-	runtime.KeepAlive(p)
-	if err != nil || !p.ok {
-		return 0, netip.AddrPort{}, false
+	if p.next >= p.got {
+		err := p.rc.Read(p.fn)
+		runtime.KeepAlive(p)
+		if err != nil || p.got == 0 {
+			return nil, netip.AddrPort{}, false
+		}
+		if p.got > 1 && p.batched != nil {
+			p.batched.Add(int64(p.got - 1))
+		}
 	}
-	return p.n, p.source(), true
+	i := p.next
+	p.next++
+	return p.bufs[i][:p.hdrs[i].n], p.sourceAt(i), true
 }

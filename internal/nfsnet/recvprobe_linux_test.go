@@ -4,6 +4,7 @@ package nfsnet
 
 import (
 	"bytes"
+	"fmt"
 	"net"
 	"net/netip"
 	"testing"
@@ -33,7 +34,6 @@ func TestRecvProbe(t *testing.T) {
 	reg := metrics.NewRegistry()
 	stats := metrics.NewStageStats(reg, metrics.DefaultSlowSpans)
 	b := newSendBatch(srv, true, reg.Counter("b"), reg.Counter("m"), stats)
-	buf := make([]byte, 65536)
 
 	// The future deadline a real reader would have armed before its
 	// blocking read; the probe must not be confused by it.
@@ -44,13 +44,13 @@ func TestRecvProbe(t *testing.T) {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(2 * time.Second)
-	var n int
+	var pkt []byte
 	var ok bool
 	for {
 		var src netip.AddrPort
-		if n, src, ok = drainRead(srv, &probe, b, buf); ok {
-			if !bytes.Equal(buf[:n], payload) {
-				t.Fatalf("probe read %q, want %q", buf[:n], payload)
+		if pkt, src, ok = drainRead(srv, &probe, b); ok {
+			if !bytes.Equal(pkt, payload) {
+				t.Fatalf("probe read %q, want %q", pkt, payload)
 			}
 			want := cl.LocalAddr().(*net.UDPAddr)
 			if int(src.Port()) != want.Port || !src.Addr().Is4() {
@@ -69,17 +69,73 @@ func TestRecvProbe(t *testing.T) {
 	// generous bound — the failure mode being excluded is a batchPoll (or
 	// readerPoll) park, orders of magnitude larger.
 	start := time.Now()
-	if _, _, ok = drainRead(srv, &probe, b, buf); ok {
+	if _, _, ok = drainRead(srv, &probe, b); ok {
 		t.Fatal("probe read a datagram from an empty queue")
 	}
 	if el := time.Since(start); el > 100*time.Millisecond {
 		t.Fatalf("empty-queue probe took %v; want immediate return", el)
 	}
 
-	if sysRecvfrom != 0 {
-		avg := testing.AllocsPerRun(100, func() { drainRead(srv, &probe, b, buf) })
+	if sysRecvmmsg != 0 {
+		avg := testing.AllocsPerRun(100, func() { drainRead(srv, &probe, b) })
 		if avg != 0 {
 			t.Fatalf("empty-queue probe allocates %.1f/op, want 0", avg)
 		}
+	}
+}
+
+// TestRecvProbeBatch pins the recvmmsg amortization: a backlog queued
+// before the first fill comes back in order, in fewer kernel crossings
+// than datagrams, with the surplus counted on the batched counter.
+func TestRecvProbeBatch(t *testing.T) {
+	if sysRecvmmsg == 0 {
+		t.Skip("no recvmmsg on this arch")
+	}
+	srv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	dst := srv.LocalAddr().(*net.UDPAddr)
+
+	var probe recvProbe
+	reg := metrics.NewRegistry()
+	probe.batched = reg.Counter("batched")
+	stats := metrics.NewStageStats(reg, metrics.DefaultSlowSpans)
+	b := newSendBatch(srv, true, reg.Counter("b"), reg.Counter("m"), stats)
+
+	const msgs = 5
+	for i := 0; i < msgs; i++ {
+		if _, err := cl.WriteToUDP([]byte(fmt.Sprintf("dgram-%d", i)), dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let the backlog settle into the socket queue so the first fill sees
+	// it whole.
+	time.Sleep(100 * time.Millisecond)
+
+	got := 0
+	deadline := time.Now().Add(2 * time.Second)
+	for got < msgs {
+		pkt, _, ok := drainRead(srv, &probe, b)
+		if !ok {
+			if time.Now().After(deadline) {
+				t.Fatalf("drained %d/%d queued datagrams", got, msgs)
+			}
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if want := fmt.Sprintf("dgram-%d", got); string(pkt) != want {
+			t.Fatalf("datagram %d = %q, want %q (UDP socket queues are FIFO)", got, pkt, want)
+		}
+		got++
+	}
+	if n := probe.batched.Value(); n < 1 {
+		t.Errorf("batched_reads = %d after a %d-datagram backlog, want >= 1", n, msgs)
 	}
 }

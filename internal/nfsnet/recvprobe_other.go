@@ -5,12 +5,25 @@ package nfsnet
 import (
 	"net"
 	"net/netip"
+
+	"renonfs/internal/metrics"
 )
 
-// recvProbe is empty where there is no raw non-blocking receive.
-type recvProbe struct{}
+// recvProbe carries only the drain buffer where there is no raw
+// non-blocking receive; batched stays nil-safe and unused.
+type recvProbe struct {
+	buf     []byte
+	batched *metrics.Counter
+}
 
 // drainRead degrades to the portable flush-then-deadline drain off Linux.
-func drainRead(conn *net.UDPConn, _ *recvProbe, b *sendBatch, buf []byte) (int, netip.AddrPort, bool) {
-	return drainReadDeadline(conn, b, buf)
+func drainRead(conn *net.UDPConn, p *recvProbe, b *sendBatch) ([]byte, netip.AddrPort, bool) {
+	if p.buf == nil {
+		p.buf = make([]byte, 65536)
+	}
+	n, addr, ok := drainReadDeadline(conn, b, p.buf)
+	if !ok {
+		return nil, netip.AddrPort{}, false
+	}
+	return p.buf[:n], addr, true
 }

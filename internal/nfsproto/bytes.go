@@ -52,6 +52,14 @@ func (r *DiropRes) EncodeBytes(w *xdr.ByteWriter) {
 // EncodeBytes marshals the bare-status result into w.
 func (r *StatusRes) EncodeBytes(w *xdr.ByteWriter) { w.PutUint32(uint32(r.Status)) }
 
+// EncodeBytes marshals the READLINK result into w.
+func (r *ReadlinkRes) EncodeBytes(w *xdr.ByteWriter) {
+	w.PutUint32(uint32(r.Status))
+	if r.Status == OK {
+		w.PutString(r.Path)
+	}
+}
+
 // EncodeBytes marshals the READDIR result into w.
 func (r *ReaddirRes) EncodeBytes(w *xdr.ByteWriter) {
 	w.PutUint32(uint32(r.Status))

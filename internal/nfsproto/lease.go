@@ -126,6 +126,122 @@ func DecodeVacatedArgs(d *xdr.Decoder) (*VacatedArgs, error) {
 // callback port.
 const EvictionMagic = 0x4e514576 // "NQEv"
 
+// --- Lease piggybacking ----------------------------------------------------
+//
+// An explicit LEASE RPC per file would cost exactly the round trip the
+// protocol exists to save, so leases also ride existing calls as trailing
+// XDR extension blocks. A client that wants a lease appends a LeaseHint
+// after the normal arguments of GETATTR/LOOKUP/WRITE/CREATE; a server that
+// grants appends a LeasePiggy after a successful result. Either side not
+// speaking the extension just ignores the trailing bytes — every decoder
+// reads exactly the fields it knows and neither side insists the buffer be
+// fully consumed — so the blocks are invisible to old peers. The magic word
+// guards against a coincidental trailer: a block without it is not a hint.
+
+// LeasePiggyMagic tags a piggybacked lease hint or grant.
+const LeasePiggyMagic = 0x4e514c50 // "NQLP"
+
+// LeaseHint is the call-side piggyback: "if this file is uncontended, give
+// me a lease with the reply". It never evicts anyone — a conflicting hint
+// is simply not granted and the client falls back to the explicit LEASE
+// path (which drives eviction) or to plain consistency.
+type LeaseHint struct {
+	Mode         uint32
+	Duration     uint32 // requested seconds
+	CallbackPort uint32
+}
+
+// Encode appends the hint after the normal call arguments.
+func (h *LeaseHint) Encode(e *xdr.Encoder) {
+	e.PutUint32(LeasePiggyMagic)
+	e.PutUint32(h.Mode)
+	e.PutUint32(h.Duration)
+	e.PutUint32(h.CallbackPort)
+}
+
+// DecodeLeaseHint reads a trailing hint if one is present. (nil, nil) means
+// no hint; decode errors in a present-looking block are swallowed the same
+// way — a malformed trailer from an unknown peer is ignored, not fatal.
+func DecodeLeaseHint(d *xdr.Decoder) *LeaseHint {
+	if d.Remaining() < 16 {
+		return nil
+	}
+	m, err := d.Uint32()
+	if err != nil || m != LeasePiggyMagic {
+		return nil
+	}
+	h := &LeaseHint{}
+	if h.Mode, err = d.Uint32(); err != nil {
+		return nil
+	}
+	if h.Duration, err = d.Uint32(); err != nil {
+		return nil
+	}
+	if h.CallbackPort, err = d.Uint32(); err != nil {
+		return nil
+	}
+	return h
+}
+
+// DecodeLeaseHintBytes is the flat-buffer twin for the shallow dispatch
+// path. ok=false means no hint (absence is not a decode failure, so the
+// reader's sticky error state is left untouched).
+func DecodeLeaseHintBytes(r *xdr.ByteReader) (LeaseHint, bool) {
+	var h LeaseHint
+	if r.Remaining() < 16 {
+		return h, false
+	}
+	if r.Uint32() != LeasePiggyMagic {
+		return h, false
+	}
+	h.Mode = r.Uint32()
+	h.Duration = r.Uint32()
+	h.CallbackPort = r.Uint32()
+	return h, r.OK()
+}
+
+// LeasePiggy is the reply-side piggyback: the lease the server granted in
+// response to a LeaseHint. Mode may exceed the hint (a write-lease holder
+// hinting for read is told it still holds write).
+type LeasePiggy struct {
+	Mode     uint32
+	Duration uint32 // granted seconds
+}
+
+// Encode appends the grant after a successful result.
+func (g *LeasePiggy) Encode(e *xdr.Encoder) {
+	e.PutUint32(LeasePiggyMagic)
+	e.PutUint32(g.Mode)
+	e.PutUint32(g.Duration)
+}
+
+// EncodeBytes is the flat-buffer twin of Encode.
+func (g *LeasePiggy) EncodeBytes(w *xdr.ByteWriter) {
+	w.PutUint32(LeasePiggyMagic)
+	w.PutUint32(g.Mode)
+	w.PutUint32(g.Duration)
+}
+
+// DecodeLeasePiggy reads a trailing grant if one is present; nil means the
+// server granted nothing (or does not speak the extension).
+func DecodeLeasePiggy(d *xdr.Decoder) *LeasePiggy {
+	if d.Remaining() < 12 {
+		return nil
+	}
+	m, err := d.Uint32()
+	if err != nil || m != LeasePiggyMagic {
+		return nil
+	}
+	g := &LeasePiggy{}
+	if g.Mode, err = d.Uint32(); err != nil {
+		return nil
+	}
+	if g.Duration, err = d.Uint32(); err != nil {
+		return nil
+	}
+	return g
+}
+
 // LookEntry is one READDIRLOOK entry: a directory entry plus the handle
 // and attributes a separate LOOKUP would have returned.
 type LookEntry struct {

@@ -3,6 +3,7 @@ package server
 import (
 	"time"
 
+	"renonfs/internal/mbuf"
 	"renonfs/internal/memfs"
 	"renonfs/internal/metrics"
 	"renonfs/internal/nfsproto"
@@ -49,6 +50,7 @@ func FastEligible(h *rpc.PeekedCall) bool {
 	if h.Prog == nfsproto.Program && h.Vers == nfsproto.Version {
 		switch h.Proc {
 		case nfsproto.ProcNull, nfsproto.ProcGetattr, nfsproto.ProcLookup,
+			nfsproto.ProcSetattr, nfsproto.ProcReadlink,
 			nfsproto.ProcReaddir, nfsproto.ProcStatfs:
 			return true
 		}
@@ -63,8 +65,10 @@ func FastEligible(h *rpc.PeekedCall) bool {
 // HandleCallFast services one fast-eligible datagram in place. req is the
 // raw datagram, h/argOff the result of rpc.PeekCallHeader, out a scratch
 // slice (len 0, cap ≥ FastReplyMax) the reply is appended to. It returns
-// the reply bytes and ok=true, or (nil, false) — with no side effects —
-// when the call must take the generic path. sp may be nil.
+// the reply bytes and ok=true; (nil, true) when the call was consumed but
+// produces no reply (an in-flight non-idempotent duplicate); or
+// (nil, false) — with no side effects — when the call must take the
+// generic path. sp may be nil.
 func (s *Server) HandleCallFast(peer string, req []byte, h *rpc.PeekedCall, argOff int, out []byte, sp *metrics.Span) ([]byte, bool) {
 	if argOff > len(req) {
 		return nil, false
@@ -116,11 +120,24 @@ func (s *Server) HandleCallFast(peer string, req []byte, h *rpc.PeekedCall, argO
 		name   string
 		cookie uint32
 		count  uint32
+		sattr  nfsproto.Sattr
+		hint   *nfsproto.LeaseHint
 	)
 	switch h.Proc {
 	case nfsproto.ProcNull:
-	case nfsproto.ProcGetattr, nfsproto.ProcStatfs:
+	case nfsproto.ProcGetattr, nfsproto.ProcStatfs, nfsproto.ProcReadlink:
 		copy(fh[:], r.FixedOpaque(nfsproto.FHSize))
+		if !r.OK() {
+			return nil, false
+		}
+	case nfsproto.ProcSetattr:
+		copy(fh[:], r.FixedOpaque(nfsproto.FHSize))
+		sattr.Mode = r.Uint32()
+		sattr.UID = r.Uint32()
+		sattr.GID = r.Uint32()
+		sattr.Size = r.Uint32()
+		sattr.Atime = nfsproto.Time{Sec: r.Uint32(), USec: r.Uint32()}
+		sattr.Mtime = nfsproto.Time{Sec: r.Uint32(), USec: r.Uint32()}
 		if !r.OK() {
 			return nil, false
 		}
@@ -141,9 +158,35 @@ func (s *Server) HandleCallFast(peer string, req []byte, h *rpc.PeekedCall, argO
 	default:
 		return nil, false
 	}
+	if g, ok := nfsproto.DecodeLeaseHintBytes(&r); ok {
+		hint = &g
+	}
 
 	s.Stats.BytesIn.Add(int64(len(req)))
 	s.cBytesIn.Add(int64(len(req)))
+
+	// SETATTR is non-idempotent: mirror the generic path's dupcache
+	// discipline exactly — claim before execution, replay the committed
+	// bytes on a retransmission (Calls/BytesOut untouched, like the generic
+	// dup hit), and consume in-flight duplicates without a reply.
+	var dkey dupKey
+	if nonIdempotent[h.Proc] {
+		dkey = dupKey{peer: peer, xid: h.XID, proc: h.Proc}
+		cached, inflight := s.dupc.begin(dkey, sp)
+		sp.Stamp(metrics.StageDupcheck)
+		if inflight {
+			sp.SetErr()
+			return nil, true
+		}
+		if cached != nil {
+			s.Stats.DupHits.Add(1)
+			s.cDupHits.Add(1)
+			metrics.Emit(s.Tracer, metrics.DupCacheHit{Proc: h.Proc})
+			w.PutFixedOpaque(cached.Bytes())
+			return w.Bytes(), true
+		}
+	}
+
 	s.Stats.Calls[h.Proc].Add(1)
 	s.cCalls.Add(1)
 	s.procCalls[h.Proc].Add(1)
@@ -153,9 +196,13 @@ func (s *Server) HandleCallFast(peer string, req []byte, h *rpc.PeekedCall, argO
 	switch h.Proc {
 	case nfsproto.ProcNull:
 	case nfsproto.ProcGetattr:
-		s.fastGetattr(peer, fh, &w)
+		s.fastGetattr(peer, fh, hint, &w)
+	case nfsproto.ProcSetattr:
+		s.fastSetattr(peer, fh, sattr, &w)
+	case nfsproto.ProcReadlink:
+		s.fastReadlink(fh, &w)
 	case nfsproto.ProcLookup:
-		s.fastLookup(peer, fh, name, &w, sp)
+		s.fastLookup(peer, fh, name, hint, &w, sp)
 	case nfsproto.ProcReaddir:
 		s.fastReaddir(fh, cookie, count, &w, sp)
 	case nfsproto.ProcStatfs:
@@ -170,15 +217,22 @@ func (s *Server) HandleCallFast(peer string, req []byte, h *rpc.PeekedCall, argO
 	if s.Tracer != nil { // guard: boxing the event allocates even when untraced
 		metrics.Emit(s.Tracer, metrics.ServerCall{
 			Proc: h.Proc, Peer: peer, XID: h.XID,
-			Service: svc,
+			NonIdempotent: nonIdempotent[h.Proc],
+			Service:       svc,
 		})
+	}
+	if nonIdempotent[h.Proc] {
+		// The scratch region is the reader's reusable arena; the cached
+		// reply needs its own storage (mbuf.FromBytes aliases its argument).
+		rep := append([]byte(nil), w.Bytes()...)
+		s.dupc.commit(dkey, mbuf.FromBytes(rep), sp)
 	}
 	s.Stats.BytesOut.Add(int64(w.Len() - len(out)))
 	s.cBytesOut.Add(int64(w.Len() - len(out)))
 	return w.Bytes(), true
 }
 
-func (s *Server) fastGetattr(peer string, fh nfsproto.FH, w *xdr.ByteWriter) {
+func (s *Server) fastGetattr(peer string, fh nfsproto.FH, hint *nfsproto.LeaseHint, w *xdr.ByteWriter) {
 	if s.leaseConflict(nil, fh, false, peer) {
 		(&nfsproto.AttrRes{Status: nfsproto.ErrTryLater}).EncodeBytes(w)
 		return
@@ -190,9 +244,41 @@ func (s *Server) fastGetattr(peer string, fh nfsproto.FH, w *xdr.ByteWriter) {
 	}
 	attr := s.FS.Attr(n)
 	(&nfsproto.AttrRes{Status: nfsproto.OK, Attr: &attr}).EncodeBytes(w)
+	s.piggybackBytes(w, peer, fh, attr.Type, hint)
 }
 
-func (s *Server) fastLookup(peer string, dirFH nfsproto.FH, name string, w *xdr.ByteWriter, sp *metrics.Span) {
+// fastSetattr mirrors the generic setattr handler (its caller has already
+// run the dupcache discipline the generic path applies around dispatch).
+func (s *Server) fastSetattr(peer string, fh nfsproto.FH, sa nfsproto.Sattr, w *xdr.ByteWriter) {
+	if s.leaseConflict(nil, fh, true, peer) {
+		(&nfsproto.AttrRes{Status: nfsproto.ErrTryLater}).EncodeBytes(w)
+		return
+	}
+	n, err := s.FS.Resolve(fh)
+	if err != nil {
+		(&nfsproto.AttrRes{Status: errStatus(err)}).EncodeBytes(w)
+		return
+	}
+	s.FS.Setattr(nil, n, sa)
+	attr := s.FS.Attr(n)
+	(&nfsproto.AttrRes{Status: nfsproto.OK, Attr: &attr}).EncodeBytes(w)
+}
+
+func (s *Server) fastReadlink(fh nfsproto.FH, w *xdr.ByteWriter) {
+	n, err := s.FS.Resolve(fh)
+	if err != nil {
+		(&nfsproto.ReadlinkRes{Status: errStatus(err)}).EncodeBytes(w)
+		return
+	}
+	target, err := s.FS.Readlink(n)
+	if err != nil {
+		(&nfsproto.ReadlinkRes{Status: errStatus(err)}).EncodeBytes(w)
+		return
+	}
+	(&nfsproto.ReadlinkRes{Status: nfsproto.OK, Path: target}).EncodeBytes(w)
+}
+
+func (s *Server) fastLookup(peer string, dirFH nfsproto.FH, name string, hint *nfsproto.LeaseHint, w *xdr.ByteWriter, sp *metrics.Span) {
 	dir, err := s.FS.Resolve(dirFH)
 	if err != nil {
 		(&nfsproto.DiropRes{Status: errStatus(err)}).EncodeBytes(w)
@@ -211,6 +297,7 @@ func (s *Server) fastLookup(peer string, dirFH nfsproto.FH, name string, w *xdr.
 				}
 				attr := s.FS.Attr(n)
 				(&nfsproto.DiropRes{Status: nfsproto.OK, File: s.FS.FH(n), Attr: &attr}).EncodeBytes(w)
+				s.piggybackBytes(w, peer, s.FS.FH(n), attr.Type, hint)
 				return
 			}
 			s.namec.Remove(dir.Ino, dir.Gen, name)
@@ -233,6 +320,7 @@ func (s *Server) fastLookup(peer string, dirFH nfsproto.FH, name string, w *xdr.
 	}
 	attr := s.FS.Attr(n)
 	(&nfsproto.DiropRes{Status: nfsproto.OK, File: s.FS.FH(n), Attr: &attr}).EncodeBytes(w)
+	s.piggybackBytes(w, peer, s.FS.FH(n), attr.Type, hint)
 }
 
 // fastReaddir streams the entry list straight into w — same walk, same

@@ -132,6 +132,36 @@ func TestFastPathReplyEquivalence(t *testing.T) {
 		(&nfsproto.GetattrArgs{File: root}).Encode(e)
 	}))
 
+	// SETATTR is non-idempotent: the fast path commits its reply to the
+	// dupcache, so assertEquiv's generic pass (same peer, same xid) is a
+	// retransmission and must replay the fast reply verbatim. That replay
+	// IS the equivalence being pinned — a fresh execution would advance
+	// ctime and legitimately differ.
+	assertEquiv(t, s, peer, "setattr ok", nfs(116, nfsproto.ProcSetattr, func(e *xdr.Encoder) {
+		sa := nfsproto.NewSattr()
+		sa.Mode = 0600
+		(&nfsproto.SetattrArgs{File: fileFH, Attr: sa}).Encode(e)
+	}))
+	assertEquiv(t, s, peer, "setattr stale", nfs(117, nfsproto.ProcSetattr, func(e *xdr.Encoder) {
+		(&nfsproto.SetattrArgs{File: stale, Attr: nfsproto.NewSattr()}).Encode(e)
+	}))
+
+	// READLINK needs a symlink in the fixture; plant it via the generic path.
+	genericReply(t, s, peer, nfs(130, nfsproto.ProcSymlink, func(e *xdr.Encoder) {
+		(&nfsproto.SymlinkArgs{From: nfsproto.DiropArgs{Dir: root, Name: "ln"},
+			To: "f", Attr: nfsproto.NewSattr()}).Encode(e)
+	}))
+	linkFH := mustLookup(t, s, root, "ln").File
+	assertEquiv(t, s, peer, "readlink ok", nfs(118, nfsproto.ProcReadlink, func(e *xdr.Encoder) {
+		(&nfsproto.GetattrArgs{File: linkFH}).Encode(e)
+	}))
+	assertEquiv(t, s, peer, "readlink notlink", nfs(119, nfsproto.ProcReadlink, func(e *xdr.Encoder) {
+		(&nfsproto.GetattrArgs{File: fileFH}).Encode(e)
+	}))
+	assertEquiv(t, s, peer, "readlink stale", nfs(131, nfsproto.ProcReadlink, func(e *xdr.Encoder) {
+		(&nfsproto.GetattrArgs{File: stale}).Encode(e)
+	}))
+
 	mnt := func(xid, proc uint32, args func(e *xdr.Encoder)) []byte {
 		return encodeWire(xid, nfsproto.MountProgram, nfsproto.MountVersion, proc, args)
 	}
@@ -196,7 +226,7 @@ func TestFastPathFallbacks(t *testing.T) {
 	root := s.RootFH()
 
 	for _, proc := range []uint32{nfsproto.ProcRead, nfsproto.ProcWrite,
-		nfsproto.ProcCreate, nfsproto.ProcRemove, nfsproto.ProcSetattr} {
+		nfsproto.ProcCreate, nfsproto.ProcRemove} {
 		h := rpc.PeekedCall{Prog: nfsproto.Program, Vers: nfsproto.Version, Proc: proc}
 		if FastEligible(&h) {
 			t.Errorf("payload proc %d classified fast-eligible", proc)

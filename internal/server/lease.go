@@ -98,6 +98,7 @@ func (s *Server) sendEviction(p *sim.Proc, to holderAddr, fh nfsproto.FH) {
 	e.PutFixedOpaque(fh[:])
 	s.cbSock.Send(p, to.node, to.port, c)
 	s.Stats.Evictions.Add(1)
+	s.cLeaseEvict.Inc()
 	s.Metrics.Counter("nfs.lease_evictions").Add(1)
 }
 
@@ -149,11 +150,16 @@ func (s *Server) leaseConflict(p *sim.Proc, fh nfsproto.FH, write bool, peer str
 	now := s.now()
 	if now >= st.expiry {
 		delete(s.leaseTab, fh)
+		s.cLeaseExpiries.Inc()
 		s.leaseMu.Unlock()
 		return false
 	}
 	if _, holder := st.holders[peer]; holder {
-		if !write || st.mode == nfsproto.LeaseWrite {
+		// The holder's own reads are always covered; its writes are covered
+		// by a write lease, and also when it is the sole holder — nobody
+		// else caches the file, so a read-leased caller truncating or
+		// rewriting its own file needs no eviction round.
+		if !write || st.mode == nfsproto.LeaseWrite || len(st.holders) == 1 {
 			s.leaseMu.Unlock()
 			return false
 		}
@@ -164,8 +170,106 @@ func (s *Server) leaseConflict(p *sim.Proc, fh nfsproto.FH, write bool, peer str
 	}
 	evict := collectEvictions(st, peer)
 	s.leaseMu.Unlock()
+	s.cLeaseTryLater.Inc()
 	s.sendEvictions(p, fh, evict)
 	return true
+}
+
+// piggyGrant decides a piggybacked lease hint: issue, extend or ignore.
+// Unlike leaseCall it never evicts — a conflicting hint simply goes
+// unanswered, leaving eviction to the explicit LEASE path — and it only
+// covers regular files (a LOOKUP hint would otherwise scatter leases over
+// directories, whose mutations bypass leaseConflict). It does no sends, so
+// it is safe to run from both dispatch paths; callers hold no locks.
+func (s *Server) piggyGrant(peer string, fh nfsproto.FH, ftype nfsproto.FileType, hint *nfsproto.LeaseHint) (nfsproto.LeasePiggy, bool) {
+	var g nfsproto.LeasePiggy
+	if hint == nil || !s.Opts.Leases || ftype != nfsproto.TypeReg {
+		return g, false
+	}
+	node, ok := parsePeerNode(peer)
+	if !ok {
+		return g, false
+	}
+	addr := holderAddr{node: node, port: int(hint.CallbackPort)}
+	now := s.now()
+	dur := s.leaseDuration()
+	if req := time.Duration(hint.Duration) * time.Second; req > 0 && req < dur {
+		dur = req
+	}
+	s.leaseMu.Lock()
+	defer s.leaseMu.Unlock()
+	if now < s.noGrantsUntil {
+		return g, false // crash recovery: pre-crash leases must expire first
+	}
+	tab := s.leaseTable()
+	st := tab[fh]
+	if st != nil && now >= st.expiry {
+		delete(tab, fh)
+		s.cLeaseExpiries.Inc()
+		st = nil
+	}
+	var isHolder bool
+	if st != nil {
+		_, isHolder = st.holders[peer]
+	}
+	mode := hint.Mode
+	renewal := false
+	switch {
+	case st == nil:
+		tab[fh] = &leaseState{
+			mode:    mode,
+			holders: map[string]holderAddr{peer: addr},
+			expiry:  now + dur,
+		}
+	case st.vacating:
+		return g, false // an eviction is in flight; stay out of its way
+	case isHolder && (st.mode == mode || st.mode == nfsproto.LeaseWrite):
+		// Renewal; a write-lease holder hinting for read keeps write.
+		mode = st.mode
+		st.expiry = now + dur
+		renewal = true
+	case isHolder && len(st.holders) == 1 && mode == nfsproto.LeaseWrite:
+		// Sole holder upgrading read to write.
+		st.mode = nfsproto.LeaseWrite
+		st.expiry = now + dur
+		renewal = true
+	case st.mode == nfsproto.LeaseRead && mode == nfsproto.LeaseRead:
+		st.holders[peer] = addr
+		if exp := now + dur; exp > st.expiry {
+			st.expiry = exp
+		}
+	default:
+		return g, false // conflict: no grant, no eviction
+	}
+	s.cLeaseGrants.Inc()
+	s.cLeasePiggy.Inc()
+	if renewal {
+		s.cLeaseRenewals.Inc()
+	}
+	metrics.Emit(s.Tracer, metrics.LeaseGrant{
+		Peer: peer, File: fh.String(),
+		Write: mode == nfsproto.LeaseWrite,
+		Term:  time.Duration(dur),
+		Piggy: true,
+	})
+	g.Mode = mode
+	g.Duration = uint32(dur / time.Second)
+	return g, true
+}
+
+// piggyback appends a grant to a successful generic reply when the call
+// carried a hint the server can honor.
+func (s *Server) piggyback(e *xdr.Encoder, peer string, fh nfsproto.FH, ftype nfsproto.FileType, hint *nfsproto.LeaseHint) {
+	if g, ok := s.piggyGrant(peer, fh, ftype, hint); ok {
+		g.Encode(e)
+	}
+}
+
+// piggybackBytes is piggyback's flat-buffer twin for the shallow path.
+func (s *Server) piggybackBytes(w *xdr.ByteWriter, peer string, fh nfsproto.FH, ftype nfsproto.FileType, hint *nfsproto.LeaseHint) {
+	if g, ok := s.piggyGrant(peer, fh, ftype, hint); ok {
+		g.EncodeBytes(w)
+	}
 }
 
 func (s *Server) now() sim.Time {
@@ -202,6 +306,7 @@ func (s *Server) leaseCall(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Enco
 	// NQNFS crash recovery: no grants until pre-crash leases have expired.
 	if now < s.noGrantsUntil {
 		s.leaseMu.Unlock()
+		s.cLeaseTryLater.Inc()
 		(&nfsproto.LeaseRes{Status: nfsproto.ErrTryLater}).Encode(e)
 		return nil
 	}
@@ -209,6 +314,7 @@ func (s *Server) leaseCall(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Enco
 	st := tab[args.File]
 	if st != nil && now >= st.expiry {
 		delete(tab, args.File)
+		s.cLeaseExpiries.Inc()
 		st = nil
 	}
 	grant := func() {
@@ -218,6 +324,7 @@ func (s *Server) leaseCall(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Enco
 			Duration: uint32(dur / time.Second),
 			Attr:     &attr,
 		}).Encode(e)
+		s.cLeaseGrants.Inc()
 		metrics.Emit(s.Tracer, metrics.LeaseGrant{
 			Peer: peer, File: args.File.String(),
 			Write: args.Mode == nfsproto.LeaseWrite,
@@ -241,12 +348,14 @@ func (s *Server) leaseCall(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Enco
 		// Renewal (a write lease also covers the holder's reads).
 		st.expiry = now + dur
 		st.vacating = false
+		s.cLeaseRenewals.Inc()
 		grant()
 	case isHolder && len(st.holders) == 1 && args.Mode == nfsproto.LeaseWrite:
 		// Sole holder upgrading a read lease to write.
 		st.mode = nfsproto.LeaseWrite
 		st.expiry = now + dur
 		st.vacating = false
+		s.cLeaseRenewals.Inc()
 		grant()
 	case st.mode == nfsproto.LeaseRead && args.Mode == nfsproto.LeaseRead:
 		// Read leases are shared.
@@ -258,6 +367,7 @@ func (s *Server) leaseCall(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Enco
 	default:
 		// Conflict: evict and tell the requester to come back.
 		evict = collectEvictions(st, "")
+		s.cLeaseTryLater.Inc()
 		(&nfsproto.LeaseRes{Status: nfsproto.ErrTryLater}).Encode(e)
 	}
 	s.leaseMu.Unlock()
@@ -277,6 +387,7 @@ func (s *Server) vacatedCall(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.En
 	if st := s.leaseTable()[args.File]; st != nil {
 		if _, held := st.holders[peer]; held {
 			delete(st.holders, peer)
+			s.cLeaseVacates.Inc()
 			metrics.Emit(s.Tracer, metrics.LeaseVacate{Peer: peer, File: args.File.String()})
 		}
 		if len(st.holders) == 0 {
@@ -356,8 +467,15 @@ func (s *Server) Leases() int {
 			n++
 		} else {
 			delete(s.leaseTab, fh)
+			s.cLeaseExpiries.Inc()
 		}
 	}
 	s.leaseMu.Unlock()
 	return n
+}
+
+// PublishLeaseStats refreshes the lease.active gauge from the live table;
+// stats endpoints call it right before snapshotting the registry.
+func (s *Server) PublishLeaseStats() {
+	s.Metrics.Gauge("lease.active").Set(float64(s.Leases()))
 }

@@ -166,8 +166,13 @@ type Server struct {
 	// by name costs a map probe plus a string concatenation per call
 	// otherwise.
 	cCalls, cBytesIn, cBytesOut, cDupHits, cErrors *metrics.Counter
-	procCalls                                      [nfsproto.NumProcsExt]*metrics.Counter
-	procSvc                                        [nfsproto.NumProcsExt]*metrics.Histogram
+	// Lease protocol counters (lease.*), interned for the piggyback path
+	// which runs on every hinted call.
+	cLeaseGrants, cLeasePiggy, cLeaseRenewals     *metrics.Counter
+	cLeaseTryLater, cLeaseVacates, cLeaseExpiries *metrics.Counter
+	cLeaseEvict                                   *metrics.Counter
+	procCalls                                     [nfsproto.NumProcsExt]*metrics.Counter
+	procSvc                                       [nfsproto.NumProcsExt]*metrics.Histogram
 	// Tracer, when set, receives ServerCall and DupCacheHit lifecycle
 	// events for every RPC handled.
 	Tracer metrics.Tracer
@@ -291,6 +296,13 @@ func New(fs *memfs.FS, opts Options) *Server {
 	s.cBytesOut = s.Metrics.Counter("nfs.bytes_out")
 	s.cDupHits = s.Metrics.Counter("nfs.dup_hits")
 	s.cErrors = s.Metrics.Counter("nfs.errors")
+	s.cLeaseGrants = s.Metrics.Counter("lease.grants")
+	s.cLeasePiggy = s.Metrics.Counter("lease.piggy_grants")
+	s.cLeaseRenewals = s.Metrics.Counter("lease.renewals")
+	s.cLeaseTryLater = s.Metrics.Counter("lease.trylater")
+	s.cLeaseVacates = s.Metrics.Counter("lease.vacates")
+	s.cLeaseExpiries = s.Metrics.Counter("lease.expiries")
+	s.cLeaseEvict = s.Metrics.Counter("lease.evictions")
 	for proc := uint32(0); proc < nfsproto.NumProcsExt; proc++ {
 		name := nfsproto.ProcName(proc)
 		s.procCalls[proc] = s.Metrics.Counter("nfs.calls." + name)
@@ -530,9 +542,9 @@ func (s *Server) dispatch(p *sim.Proc, proc uint32, peer string, d *xdr.Decoder,
 	case nfsproto.ProcWrite:
 		return s.write(p, peer, d, e, sp)
 	case nfsproto.ProcCreate:
-		return s.create(p, d, e, sp)
+		return s.create(p, peer, d, e, sp)
 	case nfsproto.ProcRemove:
-		return s.remove(p, d, e)
+		return s.remove(p, peer, d, e)
 	case nfsproto.ProcRename:
 		return s.rename(p, d, e)
 	case nfsproto.ProcLink:
@@ -559,6 +571,7 @@ func (s *Server) getattr(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encode
 	if err != nil {
 		return err
 	}
+	hint := nfsproto.DecodeLeaseHint(d)
 	s.charge(p, "nfs", costVOP)
 	// Attributes of a write-leased file live on the holder; evict first.
 	if s.leaseConflict(p, args.File, false, peer) {
@@ -572,6 +585,7 @@ func (s *Server) getattr(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encode
 	}
 	attr := s.FS.Attr(n)
 	(&nfsproto.AttrRes{Status: nfsproto.OK, Attr: &attr}).Encode(e)
+	s.piggyback(e, peer, args.File, attr.Type, hint)
 	return nil
 }
 
@@ -626,6 +640,7 @@ func (s *Server) lookup(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder
 	if err != nil {
 		return err
 	}
+	hint := nfsproto.DecodeLeaseHint(d)
 	s.charge(p, "nfs", costVOP)
 	dir, err := s.FS.Resolve(args.Dir)
 	if err != nil {
@@ -647,6 +662,7 @@ func (s *Server) lookup(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder
 				}
 				attr := s.FS.Attr(n)
 				(&nfsproto.DiropRes{Status: nfsproto.OK, File: s.FS.FH(n), Attr: &attr}).Encode(e)
+				s.piggyback(e, peer, s.FS.FH(n), attr.Type, hint)
 				return nil
 			}
 			s.namec.Remove(dir.Ino, dir.Gen, args.Name)
@@ -669,6 +685,7 @@ func (s *Server) lookup(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder
 	}
 	attr := s.FS.Attr(n)
 	(&nfsproto.DiropRes{Status: nfsproto.OK, File: s.FS.FH(n), Attr: &attr}).Encode(e)
+	s.piggyback(e, peer, s.FS.FH(n), attr.Type, hint)
 	return nil
 }
 
@@ -755,6 +772,7 @@ func (s *Server) write(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder,
 	if err != nil {
 		return err
 	}
+	hint := nfsproto.DecodeLeaseHint(d)
 	// Data is a view into the request chain; drop its storage references
 	// once the payload has landed in file blocks.
 	defer args.Data.Free()
@@ -806,14 +824,16 @@ func (s *Server) write(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder,
 	}
 	attr := s.FS.Attr(n)
 	(&nfsproto.AttrRes{Status: nfsproto.OK, Attr: &attr}).Encode(e)
+	s.piggyback(e, peer, args.File, attr.Type, hint)
 	return nil
 }
 
-func (s *Server) create(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder, sp *metrics.Span) error {
+func (s *Server) create(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder, sp *metrics.Span) error {
 	args, err := nfsproto.DecodeCreateArgs(d)
 	if err != nil {
 		return err
 	}
+	hint := nfsproto.DecodeLeaseHint(d)
 	s.charge(p, "nfs", costVOP)
 	dir, err := s.FS.Resolve(args.Where.Dir)
 	if err != nil {
@@ -828,8 +848,14 @@ func (s *Server) create(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder, sp *metrics
 	n, err := s.FS.Create(p, dir, args.Where.Name, mode)
 	if err == memfs.ErrExist {
 		// CREATE of an existing file succeeds (truncating per sattr), the
-		// way NFS v2 open-for-write works.
+		// way NFS v2 open-for-write works. The truncation is a data write:
+		// a foreign lease holder must be evicted first, or its later flush
+		// would resurrect the truncated bytes.
 		n, err = s.FS.Lookup(dir, args.Where.Name)
+		if err == nil && s.leaseConflict(p, s.FS.FH(n), true, peer) {
+			(&nfsproto.DiropRes{Status: nfsproto.ErrTryLater}).Encode(e)
+			return nil
+		}
 	}
 	if err != nil {
 		s.countErr()
@@ -844,10 +870,14 @@ func (s *Server) create(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder, sp *metrics
 	s.namec.Enter(dir.Ino, dir.Gen, args.Where.Name, n.Ino, n.Gen, sp)
 	attr := s.FS.Attr(n)
 	(&nfsproto.DiropRes{Status: nfsproto.OK, File: s.FS.FH(n), Attr: &attr}).Encode(e)
+	// The grant that kills the §5 ladder's explicit LEASE RPC: a hinted
+	// CREATE leaves with a write lease, so the writes that follow stay in
+	// the client's cache and close pushes nothing.
+	s.piggyback(e, peer, s.FS.FH(n), attr.Type, hint)
 	return nil
 }
 
-func (s *Server) remove(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
+func (s *Server) remove(p *sim.Proc, peer string, d *xdr.Decoder, e *xdr.Encoder) error {
 	args, err := nfsproto.DecodeDiropArgs(d)
 	if err != nil {
 		return err
@@ -857,6 +887,12 @@ func (s *Server) remove(p *sim.Proc, d *xdr.Decoder, e *xdr.Encoder) error {
 	if rerr == nil {
 		s.scanDirectory(p, dir, nil)
 		if n, lerr := s.FS.Lookup(dir, args.Name); lerr == nil {
+			// A foreign holder caching the victim must hear about the
+			// unlink (and flush nothing into it) before the name goes.
+			if s.leaseConflict(p, s.FS.FH(n), true, peer) {
+				(&nfsproto.StatusRes{Status: nfsproto.ErrTryLater}).Encode(e)
+				return nil
+			}
 			s.bufc.InvalidateVnode(n.Ino, n.Gen)
 			s.namec.PurgeVnode(n.Ino, n.Gen)
 		}

@@ -27,6 +27,9 @@ func (r *ByteReader) ResetBytes(b []byte) { r.buf, r.off, r.bad = b, 0, false }
 // Offset returns the cursor position (bytes consumed).
 func (r *ByteReader) Offset() int { return r.off }
 
+// Remaining returns the number of unread bytes.
+func (r *ByteReader) Remaining() int { return len(r.buf) - r.off }
+
 // OK reports whether every read so far succeeded.
 func (r *ByteReader) OK() bool { return !r.bad }
 
